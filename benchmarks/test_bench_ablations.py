@@ -1,0 +1,39 @@
+"""Regenerates the ablations: hazard breakdown and sensitivity sweeps."""
+
+from repro.experiments import ablation_hazards, ablation_sensitivity
+
+
+def test_bench_ablation_hazards(benchmark, paper_run_set, save_artifact):
+    rows = ablation_hazards.run(run_set=paper_run_set)
+    text = ablation_hazards.render(rows)
+    save_artifact("ablation_hazards", text)
+
+    benchmark(lambda: ablation_hazards.run(run_set=paper_run_set))
+
+    by_name = {row.benchmark: row for row in rows}
+    # The paper's four no-improvement benchmarks are the ones whose loads
+    # cannot be anticipated.
+    for name in ("aifftr", "aiifft", "matrix"):
+        assert by_name[name].take_rate < 0.2, name
+    for name in ("puwmod", "aifirf", "iirflt"):
+        assert by_name[name].take_rate > 0.8, name
+    # And, as the paper observes, data hazards dominate the blocked cases.
+    assert ablation_hazards.data_hazard_dominates(rows)
+
+
+def test_bench_ablation_sensitivity(benchmark, save_artifact):
+    sweeps = benchmark.pedantic(
+        lambda: ablation_sensitivity.run(instructions=8000), rounds=1, iterations=1
+    )
+    text = ablation_sensitivity.render(sweeps)
+    save_artifact("ablation_sensitivity", text)
+
+    # Extra Stage overhead must grow with the dependent-load fraction,
+    # Extra Cycle with the load fraction, and LAEC with the fraction of
+    # addresses produced by the preceding instruction.
+    dependence = sweeps["dependent_load_fraction"]
+    assert dependence[-1].increase["extra-stage"] > dependence[0].increase["extra-stage"]
+    loads = sweeps["load_fraction"]
+    assert loads[-1].increase["extra-cycle"] > loads[0].increase["extra-cycle"]
+    hazard = sweeps["address_from_previous_fraction"]
+    assert hazard[-1].increase["laec"] > hazard[0].increase["laec"]

@@ -1,0 +1,14 @@
+"""Regenerates Figures 2-5 and 7 (pipeline chronograms)."""
+
+from repro.experiments import chronograms
+
+
+def test_bench_chronograms(benchmark, save_artifact):
+    results = benchmark(chronograms.run)
+    text = chronograms.render(results)
+    save_artifact("figures_2_to_7_chronograms", text)
+    # Every chronogram must reproduce the consumer stall pattern the paper
+    # draws: 2 Execute cycles for no-ECC/LAEC-lookahead, 3 for Extra
+    # Cycle/Extra Stage/LAEC-fallback, 1 when there is no dependence.
+    for name, result in results.items():
+        assert result.matches_paper, name

@@ -1,0 +1,33 @@
+"""Regenerates the §IV-A power/leakage analysis."""
+
+import pytest
+
+from repro.analysis.energy import estimate_energy
+from repro.experiments import energy_report
+
+
+def test_bench_energy(benchmark, paper_run_set, save_artifact):
+    rows = energy_report.run(run_set=paper_run_set)
+    text = energy_report.render(rows)
+    save_artifact("energy_report", text)
+
+    benchmark(lambda: estimate_energy(paper_run_set.baseline("puwmod")))
+
+    by_policy = {row.policy: row for row in rows}
+    # Leakage energy increases track execution-time increases exactly.
+    for row in rows:
+        assert row.leakage_increase == pytest.approx(
+            row.execution_time_increase, abs=1e-9
+        )
+    # LAEC's dynamic-energy cost over an already-ECC-protected design
+    # (Extra Stage) is below 1 % — the paper's "minimal impact" claim.
+    assert (
+        abs(by_policy["laec"].dynamic_increase - by_policy["extra-stage"].dynamic_increase)
+        < 0.01
+    )
+    # And the leakage penalty ordering mirrors Figure 8.
+    assert (
+        by_policy["laec"].leakage_increase
+        < by_policy["extra-stage"].leakage_increase
+        < by_policy["extra-cycle"].leakage_increase
+    )

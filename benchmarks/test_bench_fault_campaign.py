@@ -1,0 +1,25 @@
+"""Regenerates the SECDED fault-injection campaign (ablation A3)."""
+
+from repro.experiments import fault_campaign
+
+
+def test_bench_fault_campaign(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        lambda: fault_campaign.run(trials_per_point=3000), rounds=1, iterations=1
+    )
+    text = fault_campaign.render(rows)
+    analytical = fault_campaign.analytical_comparison()
+    save_artifact("fault_campaign", text)
+
+    indexed = {(row.code, row.flips): row for row in rows}
+    # The guarantees the paper's DL1 protection relies on.
+    assert indexed[("secded", 1)].corrected_rate == 1.0
+    assert indexed[("secded", 2)].detected_rate == 1.0
+    assert indexed[("secded", 2)].sdc_rate == 0.0
+    # Parity never corrects; Hamming SEC silently corrupts on double flips.
+    assert indexed[("parity", 1)].corrected_rate == 0.0
+    assert indexed[("hamming", 2)].sdc_rate > 0.5
+    # Analytically, SECDED gives the lowest array failure probability.
+    assert analytical["secded"]["array_failure_probability"] == min(
+        entry["array_failure_probability"] for entry in analytical.values()
+    )

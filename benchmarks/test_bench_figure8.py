@@ -1,0 +1,37 @@
+"""Regenerates Figure 8 (execution-time increase per scheme)."""
+
+from repro.core.policies import EccPolicyKind
+from repro.experiments import figure8
+from repro.simulation import simulate_kernel
+from repro.workloads.table2_reference import PAPER_LAEC_NO_IMPROVEMENT
+
+
+def test_bench_figure8(benchmark, paper_run_set, save_artifact):
+    result = figure8.run(run_set=paper_run_set)
+    text = figure8.render(result)
+    save_artifact("figure8", text)
+
+    # Time a representative unit: one kernel under the LAEC policy.
+    benchmark(lambda: simulate_kernel("puwmod", policy="laec", scale=0.1))
+
+    comparison = result.comparison
+    extra_cycle = result.average_increase(EccPolicyKind.EXTRA_CYCLE)
+    extra_stage = result.average_increase(EccPolicyKind.EXTRA_STAGE)
+    laec = result.average_increase(EccPolicyKind.LAEC)
+
+    # Shape of Figure 8 (paper: ~17 %, ~10 %, < 4 %).
+    assert laec < extra_stage < extra_cycle
+    assert laec < 0.05
+    assert 0.05 < extra_stage < 0.15
+    assert 0.10 < extra_cycle < 0.25
+
+    # Headline deltas: ~6 pp better than Extra Stage, ~13 pp than Extra Cycle.
+    assert 0.03 < result.laec_improvement_over_extra_stage() < 0.10
+    assert 0.08 < result.laec_improvement_over_extra_cycle() < 0.20
+
+    # Per-benchmark observations the paper calls out explicitly.
+    for name in PAPER_LAEC_NO_IMPROVEMENT:
+        laec_inc = comparison.increase(name, EccPolicyKind.LAEC.value)
+        stage_inc = comparison.increase(name, EccPolicyKind.EXTRA_STAGE.value)
+        assert abs(laec_inc - stage_inc) < 0.02, name
+    assert comparison.increase("cacheb", EccPolicyKind.EXTRA_STAGE.value) < 0.04

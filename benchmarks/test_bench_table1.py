@@ -1,0 +1,13 @@
+"""Regenerates Table I (commercial processor survey)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, save_artifact):
+    rows = benchmark(table1.run)
+    text = table1.render(rows)
+    save_artifact("table1", text)
+    assert len(rows) == 5
+    # The qualitative point of the table: the surveyed LEON parts offer no
+    # write-back DL1, which is what motivates LAEC-style schemes.
+    assert all(not cpu.supports_wb_l1 for cpu in rows if "LEON" in cpu.name)

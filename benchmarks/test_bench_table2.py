@@ -1,0 +1,32 @@
+"""Regenerates Table II (per-benchmark load statistics)."""
+
+from repro.core.policies import EccPolicyKind
+from repro.experiments import table2
+from repro.functional import run_program
+from repro.simulation import simulate_program
+from repro.workloads import build_kernel
+
+
+def test_bench_table2(benchmark, paper_run_set, save_artifact):
+    rows = table2.run(run_set=paper_run_set)
+    text = table2.render(rows)
+    save_artifact("table2", text)
+
+    # Time a representative unit: measuring one kernel's statistics.
+    def measure_one():
+        program = build_kernel("puwmod", scale=0.1)
+        trace = run_program(program)
+        return simulate_program(program, policy=EccPolicyKind.NO_ECC, trace=trace)
+
+    benchmark(measure_one)
+
+    mean = table2.averages(rows)
+    # Paper averages: 89 % hit loads, 60 % dependent loads, 25 % loads.
+    # Our kernels are hand-written rather than compiled EEMBC binaries, so
+    # the tolerance is generous; the harness asserts the *shape*.
+    assert 60.0 <= mean["pct_hit_loads"] <= 100.0
+    assert 30.0 <= mean["pct_dependent_loads"] <= 90.0
+    assert 10.0 <= mean["pct_loads"] <= 40.0
+    by_name = {row.benchmark: row for row in rows}
+    # cacheb stands out with very few dependent loads (paper: 13 %).
+    assert by_name["cacheb"].measured_pct_dependent_loads < 20.0

@@ -1,0 +1,22 @@
+"""Regenerates the write-through vs write-back WCET motivation (§I/§II-A)."""
+
+from repro.experiments import wt_vs_wb
+
+
+def test_bench_wt_vs_wb(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: wt_vs_wb.run(kernels=["iirflt", "puwmod", "a2time"], scale=0.3),
+        rounds=1,
+        iterations=1,
+    )
+    text = wt_vs_wb.render(result)
+    save_artifact("wt_vs_wb_wcet", text)
+
+    # Under worst-case bus contention the write-through DL1's WCET estimate
+    # inflates well beyond the write-back + LAEC configuration (the paper
+    # cites up to 6x for bus contention alone on its platform).
+    assert result.average_wt_inflation() > 1.3
+    for kernel in result.bounds:
+        wt = result.bounds[kernel]["wt-parity"]
+        wb = result.bounds[kernel]["wb-laec"]
+        assert wt.contention_inflation > wb.contention_inflation

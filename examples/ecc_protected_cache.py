@@ -1,0 +1,104 @@
+"""Example: protecting cache contents with parity, Hamming and SECDED.
+
+Run with::
+
+    python examples/ecc_protected_cache.py
+
+The script stores words from a real kernel run into a DL1 model equipped
+with an ECC shadow array, injects single- and double-bit soft errors and
+shows how each code behaves — the reliability argument that makes the
+paper's write-back DL1 viable in a safety-critical system.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.reporting import Table
+from repro.ecc import (
+    FaultInjector,
+    FaultModel,
+    HammingSecCode,
+    HsiaoSecDedCode,
+    InjectionOutcome,
+    ParityCode,
+    ReliabilityModel,
+)
+from repro.ecc.codec import DecodeStatus
+from repro.functional import run_program
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.config import CacheConfig
+from repro.workloads import build_kernel
+
+
+def cache_level_demo() -> None:
+    """Store kernel data into an ECC-protected DL1 and corrupt one bit."""
+    print("=== SECDED-protected DL1 (16 KiB, 4-way, 32 B lines) ===")
+    cache = SetAssociativeCache(
+        CacheConfig(size_bytes=16 * 1024, line_bytes=32, ways=4, name="dl1"),
+        ecc_code=HsiaoSecDedCode(),
+    )
+    trace = run_program(build_kernel("iirflt", scale=0.1))
+    stores = [dyn for dyn in trace if dyn.is_store][:64]
+    for dyn in stores:
+        cache.access(dyn.address, is_write=True)
+        cache.ecc_store_word(dyn.address, dyn.value)
+    print(f"stored {len(stores)} dirty words from the iirflt kernel")
+
+    rng = random.Random(42)
+    victim = rng.choice(cache.ecc_resident_words())
+    cache.ecc_flip_bit(victim, rng.randrange(39))
+    result = cache.ecc_load_word(victim)
+    print(
+        f"flipped one bit at {victim:#010x}: status={result.status.value}, "
+        f"data restored={result.status is DecodeStatus.CORRECTED}"
+    )
+    print()
+
+
+def code_comparison_demo() -> None:
+    """Compare the three codes under single and double bit flips."""
+    print("=== Injection outcomes per code (10k trials each) ===")
+    table = Table(
+        title="outcome rates",
+        columns=["code", "flips", "corrected %", "detected %", "silent corruption %"],
+    )
+    for code in (ParityCode(), HammingSecCode(), HsiaoSecDedCode()):
+        injector = FaultInjector(code, seed=7)
+        for flips in (1, 2):
+            report = injector.run_campaign(
+                trials=10_000, fault_model=FaultModel({flips: 1.0})
+            )
+            table.add_row(
+                code=code.name,
+                flips=flips,
+                **{
+                    "corrected %": 100 * report.rate(InjectionOutcome.CORRECTED),
+                    "detected %": 100 * report.rate(InjectionOutcome.DETECTED),
+                    "silent corruption %": 100
+                    * report.rate(InjectionOutcome.SILENT_DATA_CORRUPTION),
+                },
+            )
+    print(table.render(float_format="{:.1f}"))
+    print()
+
+
+def array_reliability_demo() -> None:
+    """Array-level failure probabilities for a 16 KiB DL1."""
+    print("=== Analytical array failure probability (16 KiB DL1) ===")
+    model = ReliabilityModel(
+        words=16 * 1024 // 4, bit_upset_rate_per_hour=1e-8, scrub_interval_hours=1.0
+    )
+    for code in (ParityCode(), HammingSecCode(), HsiaoSecDedCode()):
+        probability = model.array_failure_probability(code)
+        print(f"  {code.name:8s} unsafe-failure probability per hour: {probability:.3e}")
+    print(
+        "\nOnly SECDED keeps dirty write-back data safe: parity cannot restore the\n"
+        "only copy, and Hamming SEC silently mis-corrects double errors."
+    )
+
+
+if __name__ == "__main__":
+    cache_level_demo()
+    code_comparison_demo()
+    array_reliability_demo()

@@ -1,0 +1,74 @@
+"""Example: why write-back DL1 caches (and hence LAEC) matter for WCET.
+
+Run with::
+
+    python examples/wcet_contention.py
+
+The script runs a store-intensive control kernel on the 4-core NGMP-like
+SoC model under three interference scenarios (isolation, average and
+worst-case round-robin bus contention) for three DL1 configurations:
+
+* write-through + parity (the classic LEON configuration),
+* write-back + LAEC (the paper's proposal),
+* write-back without any protection (ideal lower bound).
+
+It reproduces the motivation of the paper's introduction: once the other
+cores load the shared bus, the write-through configuration's WCET
+estimate inflates dramatically because every store becomes a bus
+transaction, while the LAEC-protected write-back DL1 stays close to the
+unprotected design.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table
+from repro.analysis.wcet import WcetAnalysis
+from repro.workloads import build_kernel
+
+KERNEL = "iirflt"
+
+
+def main() -> None:
+    program = build_kernel(KERNEL, scale=0.4)
+    analysis = WcetAnalysis(contenders=3, safety_margin=1.2)
+    study = analysis.write_policy_study(program)
+
+    table = Table(
+        title=(
+            f"{KERNEL}: execution-time bounds on the NGMP-like SoC "
+            "(3 contending cores)"
+        ),
+        columns=[
+            "DL1 configuration",
+            "isolation cycles",
+            "worst-contention cycles",
+            "WCET estimate",
+            "inflation vs isolation",
+        ],
+    )
+    for label, bound in study.items():
+        table.add_row(
+            **{
+                "DL1 configuration": label,
+                "isolation cycles": bound.observed_isolation_cycles,
+                "worst-contention cycles": bound.observed_contention_cycles,
+                "WCET estimate": bound.wcet_estimate_cycles,
+                "inflation vs isolation": bound.contention_inflation,
+            }
+        )
+    print(table.render())
+
+    wt = study["wt-parity"]
+    wb = study["wb-laec"]
+    ratio = wt.wcet_estimate_cycles / wb.wcet_estimate_cycles
+    print()
+    print(
+        f"WCET estimate of WT+parity is {ratio:.2f}x the WB+LAEC one for this kernel;\n"
+        "the paper cites factors up to 6x for bus contention alone, which is what\n"
+        "pushes safety-critical multicores towards write-back DL1 caches and makes\n"
+        "low-latency DL1 error correction (LAEC) necessary."
+    )
+
+
+if __name__ == "__main__":
+    main()

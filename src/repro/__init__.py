@@ -1,0 +1,59 @@
+"""repro — reproduction of LAEC (DATE 2019).
+
+LAEC: Look-Ahead Error Correction Codes in Embedded Processors L1 Data Cache.
+
+The package provides, from the bottom up:
+
+* :mod:`repro.isa` — a small SPARC-V8-like instruction set, assembler and
+  program container used by all workloads.
+* :mod:`repro.functional` — an architectural (functional) simulator that
+  produces the dynamic instruction stream driving the timing model.
+* :mod:`repro.ecc` — parity / Hamming / Hsiao-SECDED codecs and a fault
+  injection engine.
+* :mod:`repro.memory` — set-associative caches, write buffer, shared bus,
+  L2 and main memory.
+* :mod:`repro.pipeline` — the cycle-accurate 7/8-stage in-order pipeline
+  of an NGMP/LEON4-class core, with chronogram recording and statistics.
+* :mod:`repro.core` — the paper's contribution: the ECC deployment
+  policies (No-ECC, Extra Cache Cycle, Extra Stage, LAEC) and the LAEC
+  look-ahead unit.
+* :mod:`repro.soc` — a 4-core NGMP-like SoC model with shared bus and L2.
+* :mod:`repro.workloads` — EEMBC-Automotive-like kernels and synthetic
+  trace generation.
+* :mod:`repro.analysis` — metrics, energy/leakage model, WCET analysis
+  and report rendering.
+* :mod:`repro.experiments` — one module per paper table/figure plus
+  ablations.
+"""
+
+from repro.core.policies import (
+    EccPolicyKind,
+    ExtraCacheCyclePolicy,
+    ExtraStagePolicy,
+    LaecPolicy,
+    NoEccPolicy,
+    WriteThroughParityPolicy,
+    make_policy,
+)
+from repro.memory.config import CacheConfig, MemoryHierarchyConfig
+from repro.pipeline.config import CoreConfig, PipelineConfig
+from repro.simulation import SimulationResult, simulate_kernel, simulate_program
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "EccPolicyKind",
+    "ExtraCacheCyclePolicy",
+    "ExtraStagePolicy",
+    "LaecPolicy",
+    "MemoryHierarchyConfig",
+    "NoEccPolicy",
+    "PipelineConfig",
+    "SimulationResult",
+    "WriteThroughParityPolicy",
+    "make_policy",
+    "simulate_kernel",
+    "simulate_program",
+]
+
+__version__ = "1.0.0"

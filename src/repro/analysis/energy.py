@@ -1,0 +1,102 @@
+"""Dynamic-power and leakage-energy model.
+
+Section IV-A of the paper makes two energy claims:
+
+* the extra hardware of LAEC (a 32-bit adder and two register-file read
+  ports) changes dynamic power by less than 1 %, because energy is
+  dominated by the cache arrays [paper reference [26]];
+* leakage *energy* grows proportionally to execution time, so the 17 % /
+  10 % / < 4 % slowdowns of Extra Cycle / Extra Stage / LAEC translate
+  into the same relative leakage-energy increases.
+
+The model here uses CACTI-class per-access energy constants (relative
+units; only ratios matter) and a leakage power constant, which is all
+that is needed to reproduce those two statements quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.policies import EccPolicy
+from repro.simulation import SimulationResult
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event dynamic energies and leakage power (arbitrary units)."""
+
+    dl1_read_energy: float = 10.0
+    dl1_write_energy: float = 12.0
+    dl1_ecc_check_energy: float = 1.8
+    dl1_ecc_encode_energy: float = 2.0
+    l2_access_energy: float = 40.0
+    register_file_read_energy: float = 0.10
+    adder_energy: float = 0.05
+    core_base_energy_per_instruction: float = 3.0
+    leakage_power_per_cycle: float = 1.2
+
+    def lookahead_overhead_per_load(self) -> float:
+        """Extra dynamic energy of one anticipated load.
+
+        Two additional register-file read ports are exercised and one
+        extra 32-bit add is performed (paper Section III-A/III-E).
+        """
+        return 2 * self.register_file_read_energy + self.adder_energy
+
+
+@dataclass
+class EnergyReport:
+    """Energy breakdown of one simulation."""
+
+    policy: str
+    dynamic: float
+    leakage: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.leakage
+
+    def relative_to(self, baseline: "EnergyReport") -> Dict[str, float]:
+        """Relative deltas versus a baseline report."""
+        return {
+            "dynamic": self.dynamic / baseline.dynamic - 1.0 if baseline.dynamic else 0.0,
+            "leakage": self.leakage / baseline.leakage - 1.0 if baseline.leakage else 0.0,
+            "total": self.total / baseline.total - 1.0 if baseline.total else 0.0,
+        }
+
+
+def estimate_energy(
+    result: SimulationResult, *, model: EnergyModel | None = None
+) -> EnergyReport:
+    """Estimate dynamic and leakage energy for one simulation result."""
+    model = model or EnergyModel()
+    stats = result.stats
+    policy: EccPolicy = result.policy
+
+    dl1_reads = stats.loads
+    dl1_writes = stats.stores
+    ecc_checks = stats.load_hits if policy.detects_errors else 0
+    ecc_encodes = stats.stores if policy.detects_errors else 0
+    l2_accesses = stats.load_misses + result.timing.bus_transactions
+    lookaheads = stats.lookahead.lookaheads_taken
+
+    breakdown = {
+        "core": stats.instructions * model.core_base_energy_per_instruction,
+        "dl1_read": dl1_reads * model.dl1_read_energy,
+        "dl1_write": dl1_writes * model.dl1_write_energy,
+        "ecc_check": ecc_checks * model.dl1_ecc_check_energy,
+        "ecc_encode": ecc_encodes * model.dl1_ecc_encode_energy,
+        "l2": l2_accesses * model.l2_access_energy,
+        "lookahead": lookaheads * model.lookahead_overhead_per_load(),
+    }
+    dynamic = sum(breakdown.values())
+    leakage = stats.cycles * model.leakage_power_per_cycle
+    return EnergyReport(
+        policy=policy.kind.value,
+        dynamic=dynamic,
+        leakage=leakage,
+        breakdown=breakdown,
+    )

@@ -1,0 +1,41 @@
+"""Error detection and correction codes.
+
+The paper deploys SECDED (Single-Error-Correction, Double-Error-Detection)
+in the write-back DL1 cache and contrasts it with parity-protected
+write-through designs.  This package implements the actual codes at the
+bit level so that the fault-injection experiments exercise the same
+encode/decode/correct path a hardware implementation would:
+
+* :class:`repro.ecc.parity.ParityCode` — single even/odd parity bit
+  (detection only; what LEON3/LEON4 use in their WT DL1).
+* :class:`repro.ecc.hamming.HammingSecCode` — Hamming single-error
+  correction without double-error detection (included as a baseline for
+  the reliability analytics; double errors are silently mis-corrected).
+* :class:`repro.ecc.secded.HsiaoSecDedCode` — Hsiao odd-weight-column
+  SECDED(39,32), the code assumed throughout the paper.
+"""
+
+from repro.ecc.codec import CodeWord, DecodeResult, DecodeStatus, EccCode, get_code, register_code
+from repro.ecc.fault_injection import FaultInjector, FaultModel, InjectionOutcome, InjectionReport
+from repro.ecc.hamming import HammingSecCode
+from repro.ecc.parity import ParityCode
+from repro.ecc.reliability import ReliabilityModel, word_outcome_probabilities
+from repro.ecc.secded import HsiaoSecDedCode
+
+__all__ = [
+    "CodeWord",
+    "DecodeResult",
+    "DecodeStatus",
+    "EccCode",
+    "FaultInjector",
+    "FaultModel",
+    "HammingSecCode",
+    "HsiaoSecDedCode",
+    "InjectionOutcome",
+    "InjectionReport",
+    "ParityCode",
+    "ReliabilityModel",
+    "get_code",
+    "register_code",
+    "word_outcome_probabilities",
+]

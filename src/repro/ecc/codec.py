@@ -1,0 +1,158 @@
+"""Common codec interface for all error-correcting codes.
+
+Every code works on ``data_bits``-wide words (32 by default, matching the
+DL1 word size of the LEON4) and produces a codeword of
+``data_bits + check_bits`` bits.  Codewords are plain Python integers with
+the data word in the low bits and the check bits above it — the layout is
+an implementation convenience, not a claim about the physical array
+layout, and is documented per code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of decoding a (possibly corrupted) codeword."""
+
+    CLEAN = "clean"                      # syndrome zero, no error observed
+    CORRECTED = "corrected"              # single-bit error corrected
+    DETECTED_UNCORRECTABLE = "detected"  # error detected but not correctable
+    MISCORRECTED = "miscorrected"        # code applied a wrong "correction"
+
+    @property
+    def is_silent_corruption(self) -> bool:
+        """True when decoded data may be wrong without any error signal."""
+        return self is DecodeStatus.MISCORRECTED
+
+
+@dataclass(frozen=True)
+class CodeWord:
+    """An encoded word: original data plus check bits."""
+
+    data: int
+    check: int
+    total_bits: int
+
+    @property
+    def value(self) -> int:
+        return self.data | (self.check << (self.total_bits - self.check_bits))
+
+    @property
+    def check_bits(self) -> int:
+        return self.total_bits - self.data.bit_length() if False else 0  # unused
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Result of decoding a codeword."""
+
+    data: int
+    status: DecodeStatus
+    syndrome: int = 0
+    corrected_bit: Optional[int] = None
+
+    @property
+    def detected(self) -> bool:
+        return self.status in (
+            DecodeStatus.CORRECTED,
+            DecodeStatus.DETECTED_UNCORRECTABLE,
+        )
+
+    @property
+    def corrected(self) -> bool:
+        return self.status is DecodeStatus.CORRECTED
+
+    @property
+    def uncorrectable(self) -> bool:
+        return self.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+class EccCode:
+    """Abstract base class for all codes.
+
+    Subclasses must set :attr:`data_bits` and :attr:`check_bits` and
+    implement :meth:`encode` and :meth:`decode`.
+    """
+
+    #: Short registry name (e.g. ``"secded"``); set by subclasses.
+    name: str = "abstract"
+    data_bits: int = 32
+    check_bits: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        return self.data_bits + self.check_bits
+
+    @property
+    def storage_overhead(self) -> float:
+        """Check-bit storage overhead as a fraction of the data bits."""
+        return self.check_bits / self.data_bits if self.data_bits else 0.0
+
+    def encode(self, data: int) -> int:
+        """Return the codeword for ``data`` (data in the low bits)."""
+        raise NotImplementedError
+
+    def decode(self, codeword: int) -> DecodeResult:
+        """Decode ``codeword``, correcting/flagging errors as supported."""
+        raise NotImplementedError
+
+    # Convenience helpers shared by all codes ---------------------------
+    def _check_data_range(self, data: int) -> None:
+        if data < 0 or data >> self.data_bits:
+            raise ValueError(
+                f"data word out of range for a {self.data_bits}-bit code: {data:#x}"
+            )
+
+    def _check_codeword_range(self, codeword: int) -> None:
+        if codeword < 0 or codeword >> self.total_bits:
+            raise ValueError(
+                f"codeword out of range for a {self.total_bits}-bit code: {codeword:#x}"
+            )
+
+    def flip_bits(self, codeword: int, positions) -> int:
+        """Return ``codeword`` with the given bit ``positions`` flipped."""
+        result = codeword
+        for position in positions:
+            if position < 0 or position >= self.total_bits:
+                raise ValueError(f"bit position out of range: {position}")
+            result ^= 1 << position
+        return result
+
+    def roundtrip(self, data: int) -> DecodeResult:
+        """Encode then decode ``data`` (should always be CLEAN)."""
+        return self.decode(self.encode(data))
+
+    # -------------------------------------------------------------------
+    def describe(self) -> str:
+        return (
+            f"{self.name}: ({self.total_bits},{self.data_bits}) code, "
+            f"{self.check_bits} check bits, "
+            f"{self.storage_overhead * 100:.1f}% storage overhead"
+        )
+
+
+_REGISTRY: Dict[str, Callable[[], EccCode]] = {}
+
+
+def register_code(name: str, factory: Callable[[], EccCode]) -> None:
+    """Register a code factory under ``name`` (used by configuration)."""
+    _REGISTRY[name] = factory
+
+
+def get_code(name: str) -> EccCode:
+    """Instantiate a registered code by name (``parity``, ``hamming``, ``secded``)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown ECC code {name!r}; known codes: {known}") from exc
+    return factory()
+
+
+def available_codes():
+    """Names of all registered codes."""
+    return sorted(_REGISTRY)

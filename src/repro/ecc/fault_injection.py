@@ -1,0 +1,193 @@
+"""Fault injection for ECC-protected storage.
+
+The paper targets *soft errors* (radiation-induced single-event upsets) in
+the DL1 data array.  We model them as bit flips in stored codewords and
+classify the outcome by comparing the decoded word with the ground truth:
+
+* ``MASKED`` — the flip(s) hit bits that do not change the decoded data
+  and the decoder saw nothing (only possible for parity with even flips).
+* ``CORRECTED`` — the decoder returned the original data and flagged a
+  correction.
+* ``DETECTED`` — the decoder flagged an uncorrectable error (the cache
+  controller would then raise a fault / refetch / trigger recovery).
+* ``SILENT_DATA_CORRUPTION`` — the decoder returned wrong data without
+  any error indication.  This is the failure mode safety standards such
+  as ISO 26262 care about.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.ecc.codec import DecodeStatus, EccCode
+
+
+class InjectionOutcome(enum.Enum):
+    """Classification of one injection experiment against ground truth."""
+
+    MASKED = "masked"
+    CORRECTED = "corrected"
+    DETECTED = "detected"
+    SILENT_DATA_CORRUPTION = "sdc"
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Describes how many bits to flip per injected fault.
+
+    ``multiplicity_weights`` maps the number of simultaneously flipped
+    bits to its relative probability.  The paper assumes MBU (multi-bit
+    upset) rates are negligible for the targeted technologies, so the
+    default model is single-bit flips only; the reliability ablation uses
+    a mixed model to show what SECDED buys over plain Hamming.
+    """
+
+    multiplicity_weights: Dict[int, float] = field(
+        default_factory=lambda: {1: 1.0}
+    )
+
+    def sample_multiplicity(self, rng: random.Random) -> int:
+        total = sum(self.multiplicity_weights.values())
+        pick = rng.random() * total
+        cumulative = 0.0
+        for multiplicity, weight in sorted(self.multiplicity_weights.items()):
+            cumulative += weight
+            if pick <= cumulative:
+                return multiplicity
+        return max(self.multiplicity_weights)
+
+
+@dataclass
+class InjectionRecord:
+    """One injection: where the flips landed and what the decoder did."""
+
+    data: int
+    flipped_bits: Sequence[int]
+    status: DecodeStatus
+    outcome: InjectionOutcome
+
+
+@dataclass
+class InjectionReport:
+    """Aggregated results of an injection campaign."""
+
+    code_name: str
+    records: List[InjectionRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def count(self, outcome: InjectionOutcome) -> int:
+        return sum(1 for record in self.records if record.outcome is outcome)
+
+    def rate(self, outcome: InjectionOutcome) -> float:
+        if not self.records:
+            return 0.0
+        return self.count(outcome) / self.total
+
+    def by_multiplicity(self) -> Dict[int, Dict[InjectionOutcome, int]]:
+        """Outcome counts grouped by the number of flipped bits."""
+        grouped: Dict[int, Dict[InjectionOutcome, int]] = {}
+        for record in self.records:
+            bucket = grouped.setdefault(len(record.flipped_bits), {})
+            bucket[record.outcome] = bucket.get(record.outcome, 0) + 1
+        return grouped
+
+    def summary(self) -> Dict[str, float]:
+        return {outcome.value: self.rate(outcome) for outcome in InjectionOutcome}
+
+
+class FaultInjector:
+    """Runs bit-flip campaigns against an :class:`EccCode`."""
+
+    def __init__(self, code: EccCode, *, seed: int = 2019) -> None:
+        self.code = code
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ #
+    def inject_once(
+        self, data: int, flipped_bits: Iterable[int]
+    ) -> InjectionRecord:
+        """Encode ``data``, flip exactly ``flipped_bits``, decode, classify."""
+        positions = tuple(flipped_bits)
+        codeword = self.code.encode(data)
+        corrupted = self.code.flip_bits(codeword, positions)
+        result = self.code.decode(corrupted)
+        outcome = self._classify(data, positions, result.data, result.status)
+        return InjectionRecord(
+            data=data, flipped_bits=positions, status=result.status, outcome=outcome
+        )
+
+    def run_campaign(
+        self,
+        *,
+        trials: int,
+        fault_model: Optional[FaultModel] = None,
+        data_source: Optional[Iterable[int]] = None,
+    ) -> InjectionReport:
+        """Inject ``trials`` random faults and return the aggregated report.
+
+        ``data_source`` optionally supplies the words to protect (e.g.
+        values captured from a workload run); otherwise uniform random
+        32-bit words are used.
+        """
+        model = fault_model or FaultModel()
+        report = InjectionReport(code_name=self.code.name)
+        data_iterator = iter(data_source) if data_source is not None else None
+        for _ in range(trials):
+            if data_iterator is not None:
+                try:
+                    data = next(data_iterator) & ((1 << self.code.data_bits) - 1)
+                except StopIteration:
+                    data_iterator = None
+                    data = self.rng.getrandbits(self.code.data_bits)
+            else:
+                data = self.rng.getrandbits(self.code.data_bits)
+            multiplicity = model.sample_multiplicity(self.rng)
+            multiplicity = min(multiplicity, self.code.total_bits)
+            positions = self.rng.sample(range(self.code.total_bits), multiplicity)
+            report.records.append(self.inject_once(data, positions))
+        return report
+
+    def exhaustive_single_bit(self, data_words: Iterable[int]) -> InjectionReport:
+        """Flip every single bit position of every supplied data word."""
+        report = InjectionReport(code_name=self.code.name)
+        for data in data_words:
+            data &= (1 << self.code.data_bits) - 1
+            for position in range(self.code.total_bits):
+                report.records.append(self.inject_once(data, (position,)))
+        return report
+
+    def exhaustive_double_bit(self, data: int) -> InjectionReport:
+        """Flip every pair of bit positions of one data word."""
+        report = InjectionReport(code_name=self.code.name)
+        data &= (1 << self.code.data_bits) - 1
+        for first in range(self.code.total_bits):
+            for second in range(first + 1, self.code.total_bits):
+                report.records.append(self.inject_once(data, (first, second)))
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _classify(
+        self,
+        original: int,
+        flipped_bits: Sequence[int],
+        decoded: int,
+        status: DecodeStatus,
+    ) -> InjectionOutcome:
+        data_intact = decoded == original
+        if status is DecodeStatus.CLEAN:
+            if data_intact:
+                return InjectionOutcome.MASKED
+            return InjectionOutcome.SILENT_DATA_CORRUPTION
+        if status is DecodeStatus.CORRECTED:
+            if data_intact:
+                return InjectionOutcome.CORRECTED
+            return InjectionOutcome.SILENT_DATA_CORRUPTION
+        # Detected-uncorrectable: the controller is informed, so even if
+        # the data image is wrong this is not silent.
+        return InjectionOutcome.DETECTED

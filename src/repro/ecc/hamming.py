@@ -1,0 +1,138 @@
+"""Hamming single-error-correction (SEC) code.
+
+Included as a reference point for the reliability analysis: plain Hamming
+corrects any single-bit error but has no double-error detection — a
+double error produces a syndrome that usually points at a third, innocent
+bit and gets silently "corrected" into garbage.  The paper (and our cache
+model) uses Hsiao SECDED instead; see :mod:`repro.ecc.secded`.
+
+Layout: the classic 1-indexed Hamming arrangement where check bits sit at
+power-of-two positions (1, 2, 4, ...) and data bits fill the remaining
+positions.  The public ``encode``/``decode`` interface still exchanges
+plain ``data_bits``-wide integers; the positional shuffling is internal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ecc.codec import DecodeResult, DecodeStatus, EccCode, register_code
+
+
+def _required_check_bits(data_bits: int) -> int:
+    """Smallest r with 2**r >= data_bits + r + 1."""
+    r = 1
+    while (1 << r) < data_bits + r + 1:
+        r += 1
+    return r
+
+
+class HammingSecCode(EccCode):
+    """Hamming SEC over ``data_bits`` bits (6 check bits for 32)."""
+
+    name = "hamming"
+
+    def __init__(self, data_bits: int = 32) -> None:
+        self.data_bits = data_bits
+        self.check_bits = _required_check_bits(data_bits)
+        # Precompute the 1-indexed codeword positions of the data bits
+        # (every position that is not a power of two).
+        self._data_positions: List[int] = []
+        position = 1
+        while len(self._data_positions) < data_bits:
+            if position & (position - 1):  # not a power of two
+                self._data_positions.append(position)
+            position += 1
+        self._codeword_length = position - 1 if not (position - 1) & (position - 2) \
+            else self._data_positions[-1]
+        # The true codeword length is the largest used position.
+        largest_check = 1 << (self.check_bits - 1)
+        self._codeword_length = max(self._data_positions[-1], largest_check)
+
+    # ------------------------------------------------------------------ #
+    def _spread(self, data: int) -> List[int]:
+        """Place data bits into their codeword positions (1-indexed array)."""
+        bits = [0] * (self._codeword_length + 1)
+        for index, position in enumerate(self._data_positions):
+            bits[position] = (data >> index) & 1
+        return bits
+
+    def _compute_checks(self, bits: List[int]) -> None:
+        for check_index in range(self.check_bits):
+            parity_position = 1 << check_index
+            parity = 0
+            for position in range(1, self._codeword_length + 1):
+                if position & parity_position and position != parity_position:
+                    parity ^= bits[position]
+            bits[parity_position] = parity
+
+    def _collect(self, bits: List[int]) -> int:
+        """Pack the positional bit array into the public codeword layout.
+
+        Public layout: data word in bits [0, data_bits), check bits above.
+        """
+        data = 0
+        for index, position in enumerate(self._data_positions):
+            data |= bits[position] << index
+        check = 0
+        for check_index in range(self.check_bits):
+            check |= bits[1 << check_index] << check_index
+        return data | (check << self.data_bits)
+
+    def _unpack(self, codeword: int) -> List[int]:
+        data = codeword & ((1 << self.data_bits) - 1)
+        check = codeword >> self.data_bits
+        bits = [0] * (self._codeword_length + 1)
+        for index, position in enumerate(self._data_positions):
+            bits[position] = (data >> index) & 1
+        for check_index in range(self.check_bits):
+            bits[1 << check_index] = (check >> check_index) & 1
+        return bits
+
+    # ------------------------------------------------------------------ #
+    def encode(self, data: int) -> int:
+        self._check_data_range(data)
+        bits = self._spread(data)
+        self._compute_checks(bits)
+        return self._collect(bits)
+
+    def decode(self, codeword: int) -> DecodeResult:
+        self._check_codeword_range(codeword)
+        bits = self._unpack(codeword)
+        syndrome = 0
+        for check_index in range(self.check_bits):
+            parity_position = 1 << check_index
+            parity = 0
+            for position in range(1, self._codeword_length + 1):
+                if position & parity_position:
+                    parity ^= bits[position]
+            if parity:
+                syndrome |= parity_position
+        if syndrome == 0:
+            data = self._extract_data(bits)
+            return DecodeResult(data=data, status=DecodeStatus.CLEAN, syndrome=0)
+        corrected_bit: Optional[int] = None
+        if syndrome <= self._codeword_length:
+            bits[syndrome] ^= 1
+            corrected_bit = syndrome
+            data = self._extract_data(bits)
+            return DecodeResult(
+                data=data,
+                status=DecodeStatus.CORRECTED,
+                syndrome=syndrome,
+                corrected_bit=corrected_bit,
+            )
+        # Syndrome points outside the codeword: detectable but uncorrectable.
+        data = self._extract_data(bits)
+        return DecodeResult(
+            data=data, status=DecodeStatus.DETECTED_UNCORRECTABLE, syndrome=syndrome
+        )
+
+    def _extract_data(self, bits: List[int]) -> int:
+        data = 0
+        for index, position in enumerate(self._data_positions):
+            data |= bits[position] << index
+        return data
+
+
+register_code("hamming", HammingSecCode)

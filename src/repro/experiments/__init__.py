@@ -1,0 +1,47 @@
+"""Experiment drivers: one module per paper table/figure plus ablations.
+
+Every experiment exposes a ``run(...)`` function returning structured
+data plus a ``render(...)`` helper that turns it into the table/figure
+text printed by the benchmark harness.  The mapping to the paper is:
+
+==============================  =======================================
+module                          paper artefact
+==============================  =======================================
+``table1``                      Table I (commercial processors survey)
+``table2``                      Table II (per-benchmark load statistics)
+``figure8``                     Figure 8 (execution-time increase)
+``chronograms``                 Figures 2-5 and 7 (pipeline diagrams)
+``energy_report``               §IV-A power/leakage discussion
+``wt_vs_wb``                    §I/§II-A write-through WCET motivation
+``ablation_hazards``            LAEC hazard breakdown (§IV-A discussion)
+``ablation_sensitivity``        sensitivity of Figure 8 to Table II stats
+``fault_campaign``              SECDED correction/detection guarantees
+==============================  =======================================
+"""
+
+from repro.experiments import (
+    ablation_hazards,
+    ablation_sensitivity,
+    chronograms,
+    energy_report,
+    fault_campaign,
+    figure8,
+    table1,
+    table2,
+    wt_vs_wb,
+)
+from repro.experiments.runner import ExperimentRunner, KernelRunSet
+
+__all__ = [
+    "ExperimentRunner",
+    "KernelRunSet",
+    "ablation_hazards",
+    "ablation_sensitivity",
+    "chronograms",
+    "energy_report",
+    "fault_campaign",
+    "figure8",
+    "table1",
+    "table2",
+    "wt_vs_wb",
+]

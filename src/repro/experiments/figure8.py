@@ -1,0 +1,104 @@
+"""Figure 8: execution-time increase of each ECC scheme over no-ECC.
+
+The paper's headline result: Extra Cycle costs ~17 % on average, Extra
+Stage ~10 %, LAEC stays below 4 % (below 1 % for several benchmarks) and
+never does worse than Extra Stage.  This experiment reproduces the
+per-benchmark series and the average column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import PolicyComparison, compare_policies
+from repro.analysis.reporting import Table, bar_chart
+from repro.core.policies import EccPolicyKind
+from repro.experiments.runner import ExperimentRunner, KernelRunSet
+from repro.workloads.table2_reference import PAPER_FIGURE8_AVERAGE_INCREASE
+
+COMPARED_POLICIES = (
+    EccPolicyKind.EXTRA_CYCLE,
+    EccPolicyKind.EXTRA_STAGE,
+    EccPolicyKind.LAEC,
+)
+
+
+@dataclass
+class Figure8Result:
+    """The comparison object plus the paper's reference averages."""
+
+    comparison: PolicyComparison
+    paper_average_increase: Dict[str, float]
+
+    def average_increase(self, policy: EccPolicyKind) -> float:
+        return self.comparison.average_increase(policy.value)
+
+    def laec_improvement_over_extra_stage(self) -> float:
+        return self.comparison.improvement_over(
+            EccPolicyKind.LAEC.value, EccPolicyKind.EXTRA_STAGE.value
+        )
+
+    def laec_improvement_over_extra_cycle(self) -> float:
+        return self.comparison.improvement_over(
+            EccPolicyKind.LAEC.value, EccPolicyKind.EXTRA_CYCLE.value
+        )
+
+
+def run(
+    *, runner: Optional[ExperimentRunner] = None, run_set: Optional[KernelRunSet] = None
+) -> Figure8Result:
+    """Simulate (or reuse) the kernel × policy matrix and compare policies."""
+    if run_set is None:
+        runner = runner or ExperimentRunner()
+        run_set = runner.run_all()
+    comparison = compare_policies(
+        run_set.results, baseline=EccPolicyKind.NO_ECC.value
+    )
+    return Figure8Result(
+        comparison=comparison,
+        paper_average_increase=dict(PAPER_FIGURE8_AVERAGE_INCREASE),
+    )
+
+
+def render(result: Figure8Result) -> str:
+    """Render Figure 8 as a table of normalised execution times plus bars."""
+    comparison = result.comparison
+    table = Table(
+        title=(
+            "Figure 8: execution-time increase over the no-ECC baseline "
+            "(1.00 = no increase)"
+        ),
+        columns=["benchmark", "extra-cycle", "extra-stage", "laec"],
+    )
+    for row in comparison.as_rows():
+        table.add_row(
+            benchmark=row["benchmark"],
+            **{
+                "extra-cycle": 1.0 + row[EccPolicyKind.EXTRA_CYCLE.value],
+                "extra-stage": 1.0 + row[EccPolicyKind.EXTRA_STAGE.value],
+                "laec": 1.0 + row[EccPolicyKind.LAEC.value],
+            },
+        )
+    lines: List[str] = [table.render(float_format="{:.3f}"), ""]
+    lines.append("Average execution-time increase (ours vs paper):")
+    bars = {}
+    for policy in COMPARED_POLICIES:
+        ours = comparison.average_increase(policy.value)
+        paper = result.paper_average_increase.get(policy.value)
+        bars[policy.value] = ours
+        paper_text = f"{paper * 100:.0f}%" if paper is not None else "n/a"
+        lines.append(
+            f"  {policy.value:12s} ours {ours * 100:5.1f}%   paper ~{paper_text}"
+        )
+    lines.append("")
+    lines.append(bar_chart(bars, unit=" (fraction)"))
+    lines.append("")
+    lines.append(
+        "LAEC reduces the average degradation by "
+        f"{result.laec_improvement_over_extra_stage() * 100:.1f} percentage points "
+        "vs Extra Stage and "
+        f"{result.laec_improvement_over_extra_cycle() * 100:.1f} vs Extra Cycle "
+        "(paper: ~6 and ~13)."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Shared experiment infrastructure.
+
+Most experiments need the same expensive ingredient: every kernel
+simulated under every Figure 8 policy.  :class:`ExperimentRunner` builds
+that result set once (re-using one functional trace per kernel, since the
+policies do not change architectural behaviour) and hands it to the
+individual experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.policies import EccPolicyKind
+from repro.functional.simulator import run_program
+from repro.simulation import SimulationResult, simulate_program
+from repro.workloads import KERNEL_NAMES, build_kernel
+
+FIGURE8_POLICIES = (
+    EccPolicyKind.NO_ECC,
+    EccPolicyKind.EXTRA_CYCLE,
+    EccPolicyKind.EXTRA_STAGE,
+    EccPolicyKind.LAEC,
+)
+
+
+@dataclass
+class KernelRunSet:
+    """All simulation results for one experiment campaign.
+
+    ``results[benchmark][policy_value]`` is a
+    :class:`~repro.simulation.SimulationResult`.
+    """
+
+    scale: float
+    results: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+
+    def benchmarks(self) -> List[str]:
+        return sorted(self.results)
+
+    def result(self, benchmark: str, policy: EccPolicyKind) -> SimulationResult:
+        return self.results[benchmark][policy.value]
+
+    def baseline(self, benchmark: str) -> SimulationResult:
+        return self.results[benchmark][EccPolicyKind.NO_ECC.value]
+
+
+class ExperimentRunner:
+    """Builds and caches the kernel × policy result matrix."""
+
+    def __init__(
+        self,
+        *,
+        scale: float = 1.0,
+        kernels: Optional[Iterable[str]] = None,
+        policies: Iterable[EccPolicyKind] = FIGURE8_POLICIES,
+    ) -> None:
+        self.scale = scale
+        self.kernels = list(kernels) if kernels is not None else list(KERNEL_NAMES)
+        self.policies = list(policies)
+        self._run_set: Optional[KernelRunSet] = None
+
+    def run_all(self, *, force: bool = False) -> KernelRunSet:
+        """Simulate every kernel under every policy (cached)."""
+        if self._run_set is not None and not force:
+            return self._run_set
+        run_set = KernelRunSet(scale=self.scale)
+        for name in self.kernels:
+            program = build_kernel(name, scale=self.scale)
+            trace = run_program(program)
+            per_policy: Dict[str, SimulationResult] = {}
+            for policy in self.policies:
+                per_policy[policy.value] = simulate_program(
+                    program, policy=policy, trace=trace
+                )
+            run_set.results[name] = per_policy
+        self._run_set = run_set
+        return run_set

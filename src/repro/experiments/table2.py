@@ -1,0 +1,111 @@
+"""Table II: per-benchmark load statistics.
+
+The paper's Table II reports, per EEMBC benchmark, the percentage of
+loads that hit the DL1, the percentage of loads with a consumer at
+distance 1-2, and loads as a percentage of all instructions.  This
+experiment measures the same three statistics on our kernels (using the
+no-ECC baseline run) and places them next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.reporting import Table
+from repro.experiments.runner import ExperimentRunner, KernelRunSet
+from repro.workloads.table2_reference import PAPER_TABLE2, PAPER_TABLE2_AVERAGE
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Measured and reference statistics for one benchmark."""
+
+    benchmark: str
+    measured_pct_hit_loads: float
+    measured_pct_dependent_loads: float
+    measured_pct_loads: float
+    paper_pct_hit_loads: Optional[float]
+    paper_pct_dependent_loads: Optional[float]
+    paper_pct_loads: Optional[float]
+
+
+def run(
+    *, runner: Optional[ExperimentRunner] = None, run_set: Optional[KernelRunSet] = None
+) -> List[Table2Result]:
+    """Measure the Table II statistics for every kernel."""
+    if run_set is None:
+        runner = runner or ExperimentRunner()
+        run_set = runner.run_all()
+    rows: List[Table2Result] = []
+    for benchmark in run_set.benchmarks():
+        baseline = run_set.baseline(benchmark)
+        measured = baseline.stats.table2_row()
+        reference = PAPER_TABLE2.get(benchmark)
+        rows.append(
+            Table2Result(
+                benchmark=benchmark,
+                measured_pct_hit_loads=measured["pct_hit_loads"],
+                measured_pct_dependent_loads=measured["pct_dependent_loads"],
+                measured_pct_loads=measured["pct_loads"],
+                paper_pct_hit_loads=reference.pct_hit_loads if reference else None,
+                paper_pct_dependent_loads=(
+                    reference.pct_dependent_loads if reference else None
+                ),
+                paper_pct_loads=reference.pct_loads if reference else None,
+            )
+        )
+    return rows
+
+
+def averages(rows: List[Table2Result]) -> Dict[str, float]:
+    """Average of the measured statistics across benchmarks."""
+    if not rows:
+        return {"pct_hit_loads": 0.0, "pct_dependent_loads": 0.0, "pct_loads": 0.0}
+    n = len(rows)
+    return {
+        "pct_hit_loads": sum(r.measured_pct_hit_loads for r in rows) / n,
+        "pct_dependent_loads": sum(r.measured_pct_dependent_loads for r in rows) / n,
+        "pct_loads": sum(r.measured_pct_loads for r in rows) / n,
+    }
+
+
+def render(rows: List[Table2Result]) -> str:
+    """Render the measured-versus-paper Table II."""
+    table = Table(
+        title="Table II: per-benchmark load statistics (measured vs paper)",
+        columns=[
+            "benchmark",
+            "hit loads % (ours)",
+            "hit loads % (paper)",
+            "dep. loads % (ours)",
+            "dep. loads % (paper)",
+            "loads % (ours)",
+            "loads % (paper)",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            benchmark=row.benchmark,
+            **{
+                "hit loads % (ours)": row.measured_pct_hit_loads,
+                "hit loads % (paper)": row.paper_pct_hit_loads or 0.0,
+                "dep. loads % (ours)": row.measured_pct_dependent_loads,
+                "dep. loads % (paper)": row.paper_pct_dependent_loads or 0.0,
+                "loads % (ours)": row.measured_pct_loads,
+                "loads % (paper)": row.paper_pct_loads or 0.0,
+            },
+        )
+    mean = averages(rows)
+    table.add_row(
+        benchmark="average",
+        **{
+            "hit loads % (ours)": mean["pct_hit_loads"],
+            "hit loads % (paper)": PAPER_TABLE2_AVERAGE.pct_hit_loads,
+            "dep. loads % (ours)": mean["pct_dependent_loads"],
+            "dep. loads % (paper)": PAPER_TABLE2_AVERAGE.pct_dependent_loads,
+            "loads % (ours)": mean["pct_loads"],
+            "loads % (paper)": PAPER_TABLE2_AVERAGE.pct_loads,
+        },
+    )
+    return table.render(float_format="{:.1f}")

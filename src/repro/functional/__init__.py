@@ -1,0 +1,28 @@
+"""Architectural (functional) simulation.
+
+The functional simulator interprets a :class:`repro.isa.program.Program`
+with full architectural semantics and emits the *dynamic instruction
+stream*: one :class:`repro.functional.simulator.DynInstruction` per retired
+instruction, carrying the effective address of memory operations and the
+outcome of control transfers.  The cycle-accurate timing model in
+:mod:`repro.pipeline` replays this stream (a standard functional-first /
+timing-directed decomposition, as used by many academic simulators).
+"""
+
+from repro.functional.memory import FlatMemory
+from repro.functional.simulator import (
+    DynInstruction,
+    ExecutionLimitExceeded,
+    FunctionalSimulator,
+    FunctionalTrace,
+    run_program,
+)
+
+__all__ = [
+    "DynInstruction",
+    "ExecutionLimitExceeded",
+    "FlatMemory",
+    "FunctionalSimulator",
+    "FunctionalTrace",
+    "run_program",
+]

@@ -1,0 +1,245 @@
+"""Set-associative cache timing model.
+
+The cache tracks tags, valid and dirty bits only: its job is to decide
+hits, misses and dirty evictions so the hierarchy can charge the right
+latencies.  An optional per-word ECC shadow array (used by the DL1 when
+fault injection is enabled) stores encoded words so reliability
+experiments can corrupt and decode genuine cache contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ecc.codec import EccCode
+from repro.memory.config import CacheConfig, WritePolicy
+from repro.memory.replacement import make_replacement_state
+
+
+@dataclass(frozen=True)
+class CacheAccessResult:
+    """Outcome of one cache access (timing view)."""
+
+    hit: bool
+    set_index: int
+    tag: int
+    way: int
+    writeback: bool = False
+    writeback_address: Optional[int] = None
+    allocated: bool = False
+
+    @property
+    def miss(self) -> bool:
+        return not self.hit
+
+
+@dataclass
+class _CacheLine:
+    valid: bool = False
+    dirty: bool = False
+    tag: int = 0
+
+
+@dataclass
+class CacheStatistics:
+    """Per-cache access counters."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+    fills: int = 0
+
+    @property
+    def reads(self) -> int:
+        return self.read_hits + self.read_misses
+
+    @property
+    def writes(self) -> int:
+        return self.write_hits + self.write_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def read_hit_rate(self) -> float:
+        return self.read_hits / self.reads if self.reads else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "read_hit_rate": self.read_hit_rate,
+            "writebacks": self.writebacks,
+        }
+
+
+class SetAssociativeCache:
+    """A set-associative cache with configurable write/replacement policy."""
+
+    def __init__(self, config: CacheConfig, *, ecc_code: Optional[EccCode] = None) -> None:
+        self.config = config
+        self.line_bits = config.line_bytes.bit_length() - 1
+        self.set_bits = config.sets.bit_length() - 1
+        self._sets: List[List[_CacheLine]] = [
+            [_CacheLine() for _ in range(config.ways)] for _ in range(config.sets)
+        ]
+        self._replacement = [
+            make_replacement_state(config.replacement, config.ways, seed=index)
+            for index in range(config.sets)
+        ]
+        self.stats = CacheStatistics()
+        # Optional ECC shadow: word address -> stored codeword.
+        self.ecc_code = ecc_code
+        self._ecc_array: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # address helpers                                                    #
+    # ------------------------------------------------------------------ #
+    def split_address(self, address: int) -> tuple:
+        """Return ``(tag, set_index, offset)`` for ``address``."""
+        offset = address & (self.config.line_bytes - 1)
+        set_index = (address >> self.line_bits) & (self.config.sets - 1)
+        tag = address >> (self.line_bits + self.set_bits)
+        return tag, set_index, offset
+
+    def line_address(self, address: int) -> int:
+        return address & ~(self.config.line_bytes - 1)
+
+    def _rebuild_address(self, tag: int, set_index: int) -> int:
+        return (tag << (self.line_bits + self.set_bits)) | (set_index << self.line_bits)
+
+    # ------------------------------------------------------------------ #
+    # lookup / access                                                    #
+    # ------------------------------------------------------------------ #
+    def probe(self, address: int) -> bool:
+        """Return True if ``address`` currently hits, without side effects."""
+        tag, set_index, _ = self.split_address(address)
+        return any(
+            line.valid and line.tag == tag for line in self._sets[set_index]
+        )
+
+    def access(self, address: int, *, is_write: bool = False) -> CacheAccessResult:
+        """Perform a load/store lookup, allocating on miss per the config.
+
+        Returns the timing-relevant outcome; the caller (hierarchy) is
+        responsible for charging miss and writeback latencies.
+        """
+        tag, set_index, _ = self.split_address(address)
+        lines = self._sets[set_index]
+        replacement = self._replacement[set_index]
+        for way, line in enumerate(lines):
+            if line.valid and line.tag == tag:
+                replacement.touch(way)
+                if is_write:
+                    self.stats.write_hits += 1
+                    if self.config.write_policy is WritePolicy.WRITE_BACK:
+                        line.dirty = True
+                else:
+                    self.stats.read_hits += 1
+                return CacheAccessResult(
+                    hit=True, set_index=set_index, tag=tag, way=way
+                )
+        # Miss.
+        if is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        allocate = not is_write or self.config.write_allocate
+        if not allocate:
+            # Write-around: no line is brought in.
+            return CacheAccessResult(
+                hit=False, set_index=set_index, tag=tag, way=-1, allocated=False
+            )
+        victim_way = replacement.victim([line.valid for line in lines])
+        victim = lines[victim_way]
+        writeback = bool(victim.valid and victim.dirty)
+        writeback_address = (
+            self._rebuild_address(victim.tag, set_index) if writeback else None
+        )
+        if writeback:
+            self.stats.writebacks += 1
+        victim.valid = True
+        victim.dirty = bool(
+            is_write and self.config.write_policy is WritePolicy.WRITE_BACK
+        )
+        victim.tag = tag
+        replacement.fill(victim_way)
+        self.stats.fills += 1
+        return CacheAccessResult(
+            hit=False,
+            set_index=set_index,
+            tag=tag,
+            way=victim_way,
+            writeback=writeback,
+            writeback_address=writeback_address,
+            allocated=True,
+        )
+
+    def invalidate_all(self) -> None:
+        """Invalidate every line (keeps statistics)."""
+        for lines in self._sets:
+            for line in lines:
+                line.valid = False
+                line.dirty = False
+
+    def dirty_line_count(self) -> int:
+        return sum(
+            1 for lines in self._sets for line in lines if line.valid and line.dirty
+        )
+
+    def valid_line_count(self) -> int:
+        return sum(1 for lines in self._sets for line in lines if line.valid)
+
+    # ------------------------------------------------------------------ #
+    # optional ECC shadow array                                          #
+    # ------------------------------------------------------------------ #
+    def ecc_store_word(self, address: int, value: int) -> None:
+        """Store an ECC-encoded shadow copy of ``value`` at word ``address``."""
+        if self.ecc_code is None:
+            return
+        word_address = address & ~0x3
+        self._ecc_array[word_address] = self.ecc_code.encode(
+            value & ((1 << self.ecc_code.data_bits) - 1)
+        )
+
+    def ecc_load_word(self, address: int):
+        """Decode the shadow codeword at ``address`` (None if never stored)."""
+        if self.ecc_code is None:
+            return None
+        word_address = address & ~0x3
+        codeword = self._ecc_array.get(word_address)
+        if codeword is None:
+            return None
+        return self.ecc_code.decode(codeword)
+
+    def ecc_flip_bit(self, address: int, bit: int) -> bool:
+        """Flip one bit of the stored codeword (returns False if absent)."""
+        if self.ecc_code is None:
+            return False
+        word_address = address & ~0x3
+        if word_address not in self._ecc_array:
+            return False
+        self._ecc_array[word_address] ^= 1 << bit
+        return True
+
+    def ecc_resident_words(self):
+        """Word addresses currently holding an ECC shadow entry."""
+        return sorted(self._ecc_array)

@@ -1,0 +1,155 @@
+"""Per-core view of the memory hierarchy.
+
+The :class:`MemoryHierarchy` is what the timing pipeline talks to.  It
+owns the private L1 instruction and data caches and the store/write
+buffer of one core, and it references the (possibly shared) bus, L2 and
+main memory.  All methods return *latencies in cycles*; the pipeline is
+responsible for scheduling them into stage occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ecc.codec import EccCode
+from repro.memory.bus import Bus, ContentionModel
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.config import MemoryHierarchyConfig, WritePolicy
+from repro.memory.l2_cache import SharedL2Cache
+from repro.memory.main_memory import MainMemory
+from repro.memory.write_buffer import WriteBuffer
+
+
+@dataclass(frozen=True)
+class DataAccessOutcome:
+    """Timing outcome of one DL1 data access.
+
+    ``extra_cycles`` is the latency *beyond* the nominal single-cycle DL1
+    access: zero on a hit, the full miss round-trip (plus any dirty
+    write-back) on a miss.  For stores, ``store_drain_latency`` is how
+    long the corresponding write-buffer entry occupies the buffer once it
+    reaches the head.
+    """
+
+    hit: bool
+    extra_cycles: int = 0
+    store_drain_latency: int = 0
+    caused_writeback: bool = False
+
+
+class MemoryHierarchy:
+    """Private L1s + write buffer, backed by a shared bus/L2/memory."""
+
+    def __init__(
+        self,
+        config: MemoryHierarchyConfig,
+        *,
+        bus: Optional[Bus] = None,
+        l2: Optional[SharedL2Cache] = None,
+        memory: Optional[MainMemory] = None,
+        write_buffer_entries: int = 4,
+        dl1_ecc_code: Optional[EccCode] = None,
+    ) -> None:
+        self.config = config
+        self.memory = memory or MainMemory(access_latency=config.memory_latency)
+        self.l2 = l2 or SharedL2Cache(
+            config.l2, self.memory, hit_latency=config.l2_hit_latency
+        )
+        self.bus = bus or Bus(
+            request_latency=config.bus_request_latency,
+            transfer_latency=config.bus_transfer_latency,
+            contention=ContentionModel(
+                contenders=config.bus_contenders,
+                mode=config.bus_contention_mode,
+            ),
+        )
+        self.l1d = SetAssociativeCache(config.l1d, ecc_code=dl1_ecc_code)
+        self.l1i = SetAssociativeCache(config.l1i)
+        self.write_buffer = WriteBuffer(capacity=write_buffer_entries)
+
+    # ------------------------------------------------------------------ #
+    # instruction side                                                   #
+    # ------------------------------------------------------------------ #
+    def instruction_fetch_cycles(self, pc: int) -> int:
+        """Extra fetch cycles beyond the single-cycle L1I hit (0 on a hit)."""
+        result = self.l1i.access(pc, is_write=False)
+        if result.hit:
+            return 0
+        line_address = self.l1i.line_address(pc)
+        return self.bus.transaction_cycles("line") + self.l2.access_cycles(line_address)
+
+    # ------------------------------------------------------------------ #
+    # data side                                                          #
+    # ------------------------------------------------------------------ #
+    def load_access(self, address: int) -> DataAccessOutcome:
+        """Timing of one load (hit/miss decision plus miss penalty)."""
+        result = self.l1d.access(address, is_write=False)
+        if result.hit:
+            return DataAccessOutcome(hit=True)
+        extra = self._miss_penalty(address, result.writeback, result.writeback_address)
+        return DataAccessOutcome(hit=False, extra_cycles=extra, caused_writeback=result.writeback)
+
+    def store_access(self, address: int) -> DataAccessOutcome:
+        """Timing of one store as seen by the write buffer.
+
+        Write-back DL1: a store hit drains in a single DL1 cycle; a store
+        miss (write-allocate) must first fetch the line, so the buffer
+        entry holds the miss round-trip.  Write-through DL1: every store
+        pushes the word to the L2 over the bus regardless of hit/miss.
+        """
+        write_back = self.config.l1d.write_policy is WritePolicy.WRITE_BACK
+        result = self.l1d.access(address, is_write=True)
+        if write_back:
+            if result.hit:
+                return DataAccessOutcome(hit=True, store_drain_latency=1)
+            extra = self._miss_penalty(
+                address, result.writeback, result.writeback_address
+            )
+            return DataAccessOutcome(
+                hit=False,
+                store_drain_latency=1 + extra,
+                caused_writeback=result.writeback,
+            )
+        # Write-through: the DL1 lookup only decides whether the line is
+        # also updated locally; the drain always pays a bus + L2 word write.
+        drain = self.bus.transaction_cycles("word") + self.config.store_through_latency
+        return DataAccessOutcome(hit=result.hit, store_drain_latency=drain)
+
+    def _miss_penalty(
+        self, address: int, writeback: bool, writeback_address: Optional[int]
+    ) -> int:
+        line_address = self.l1d.line_address(address)
+        cycles = self.bus.transaction_cycles("line")
+        cycles += self.l2.access_cycles(line_address)
+        if writeback and writeback_address is not None:
+            # Dirty victim: the write-back occupies the bus and the L2
+            # write port before the fill can complete (no write buffer
+            # between L1 and L2 in this simple model).
+            cycles += self.bus.transaction_cycles("line")
+            cycles += self.l2.access_cycles(writeback_address, is_write=True) // 2
+        return cycles
+
+    # ------------------------------------------------------------------ #
+    # maintenance                                                        #
+    # ------------------------------------------------------------------ #
+    def warm_up_instruction(self, pc: int) -> None:
+        """Pre-load the L1I line holding ``pc`` (used for warm-start runs)."""
+        self.l1i.access(pc, is_write=False)
+
+    def reset_statistics(self) -> None:
+        self.l1d.stats.__init__()
+        self.l1i.stats.__init__()
+        self.bus.reset_statistics()
+        self.write_buffer.reset()
+
+    def dl1_statistics(self):
+        return self.l1d.stats
+
+    def describe(self) -> str:
+        l1d = self.config.l1d
+        return (
+            f"DL1 {l1d.size_bytes // 1024} KiB {l1d.ways}-way {l1d.line_bytes}B/line "
+            f"({l1d.write_policy.value}), L2 {self.config.l2.size_bytes // 1024} KiB, "
+            f"memory {self.config.memory_latency} cycles"
+        )

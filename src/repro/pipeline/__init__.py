@@ -1,0 +1,29 @@
+"""Cycle-accurate timing model of an NGMP/LEON4-class in-order core.
+
+The model replays the dynamic instruction stream produced by
+:mod:`repro.functional` through the 7-stage pipeline of Figure 1 of the
+paper (Fetch, Decode, Register Access, Execute, Memory, Exception,
+Write-Back), extended with the ECC stage when the active policy requires
+it.  Stalls arise from operand dependences (with full bypassing), DL1
+misses, multi-cycle Memory occupancy, the write buffer, taken branches
+and instruction-cache misses — exactly the effects the paper's
+evaluation relies on.
+"""
+
+from repro.pipeline.chronogram import Chronogram, ChronogramEntry
+from repro.pipeline.config import CoreConfig, PipelineConfig
+from repro.pipeline.stages import Stage, stages_for_policy
+from repro.pipeline.statistics import PipelineStatistics
+from repro.pipeline.timing import PipelineResult, TimingPipeline
+
+__all__ = [
+    "Chronogram",
+    "ChronogramEntry",
+    "CoreConfig",
+    "PipelineConfig",
+    "PipelineResult",
+    "PipelineStatistics",
+    "Stage",
+    "TimingPipeline",
+    "stages_for_policy",
+]

@@ -1,0 +1,89 @@
+"""Chronogram (pipeline diagram) recording and rendering.
+
+The paper explains every scheme with small chronograms (Figures 2-5 and
+7): one row per instruction, one column per cycle, each cell naming the
+stage the instruction occupies.  The :class:`Chronogram` records exactly
+that and renders it as ASCII so the reproduction can regenerate the
+figures from actual simulations of the same instruction sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.pipeline.stages import Stage
+
+
+@dataclass
+class ChronogramEntry:
+    """Stage occupancy of one dynamic instruction."""
+
+    index: int
+    label: str
+    #: Mapping stage -> (first_cycle, last_cycle), both inclusive.
+    occupancy: Dict[Stage, Tuple[int, int]] = field(default_factory=dict)
+
+    def record(self, stage: Stage, start: int, end: int) -> None:
+        self.occupancy[stage] = (start, end)
+
+    @property
+    def first_cycle(self) -> int:
+        return min(start for start, _ in self.occupancy.values())
+
+    @property
+    def last_cycle(self) -> int:
+        return max(end for _, end in self.occupancy.values())
+
+    def stage_at(self, cycle: int) -> Optional[Stage]:
+        for stage, (start, end) in self.occupancy.items():
+            if start <= cycle <= end:
+                return stage
+        return None
+
+    def cycles_in(self, stage: Stage) -> int:
+        if stage not in self.occupancy:
+            return 0
+        start, end = self.occupancy[stage]
+        return end - start + 1
+
+
+@dataclass
+class Chronogram:
+    """A window of per-instruction stage occupancy records."""
+
+    entries: List[ChronogramEntry] = field(default_factory=list)
+
+    def add(self, entry: ChronogramEntry) -> None:
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, index: int) -> ChronogramEntry:
+        return self.entries[index]
+
+    def window(self, first: int, last: int) -> "Chronogram":
+        """Entries whose dynamic index lies in ``[first, last]``."""
+        return Chronogram(
+            entries=[e for e in self.entries if first <= e.index <= last]
+        )
+
+    def render(self, *, label_width: int = 24, cell_width: int = 4) -> str:
+        """ASCII rendering in the style of the paper's figures."""
+        if not self.entries:
+            return "(empty chronogram)"
+        first_cycle = min(entry.first_cycle for entry in self.entries)
+        last_cycle = max(entry.last_cycle for entry in self.entries)
+        header_cells = [
+            f"{cycle:>{cell_width}}" for cycle in range(first_cycle, last_cycle + 1)
+        ]
+        lines = [" " * label_width + "".join(header_cells)]
+        for entry in self.entries:
+            label = entry.label[: label_width - 1].ljust(label_width)
+            cells = []
+            for cycle in range(first_cycle, last_cycle + 1):
+                stage = entry.stage_at(cycle)
+                cells.append(f"{stage.short if stage else '':>{cell_width}}")
+            lines.append(label + "".join(cells))
+        return "\n".join(lines)

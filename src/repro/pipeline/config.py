@@ -1,0 +1,73 @@
+"""Pipeline and core configuration dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.core.policies import EccPolicy, EccPolicyKind, make_policy
+from repro.memory.config import MemoryHierarchyConfig
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Timing parameters of the in-order core.
+
+    ``taken_branch_penalty`` models the bubble(s) a taken control
+    transfer introduces between its Decode stage and the fetch of its
+    target; LEON-class cores keep this at one cycle thanks to the
+    architectural delay slot, which our ISA does not expose but whose
+    timing effect we keep.  ``mul_latency``/``div_latency`` are the extra
+    Execute-stage cycles of multiplications and divisions.
+    """
+
+    taken_branch_penalty: int = 1
+    indirect_branch_penalty: int = 2
+    mul_latency: int = 2
+    div_latency: int = 18
+    write_buffer_entries: int = 4
+    #: Record per-instruction chronograms for at most this many dynamic
+    #: instructions (0 disables recording; keeps memory bounded).
+    chronogram_window: int = 0
+
+    def __post_init__(self) -> None:
+        if self.taken_branch_penalty < 0 or self.indirect_branch_penalty < 0:
+            raise ValueError("branch penalties must be non-negative")
+        if self.mul_latency < 1 or self.div_latency < 1:
+            raise ValueError("mul/div latencies must be at least one cycle")
+        if self.write_buffer_entries < 1:
+            raise ValueError("the write buffer needs at least one entry")
+
+    def with_chronogram(self, window: int) -> "PipelineConfig":
+        return replace(self, chronogram_window=window)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Everything needed to time one core: pipeline, hierarchy and policy."""
+
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    hierarchy: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
+    policy: Union[str, EccPolicyKind, EccPolicy] = EccPolicyKind.NO_ECC
+    name: str = "core0"
+
+    def resolved_policy(self) -> EccPolicy:
+        return make_policy(self.policy)
+
+    def resolved_hierarchy_config(self) -> MemoryHierarchyConfig:
+        """Hierarchy config with the DL1 write policy forced by the ECC policy."""
+        policy = self.resolved_policy()
+        hierarchy = self.hierarchy
+        if hierarchy.l1d.write_policy is not policy.dl1_write_policy:
+            hierarchy = replace(
+                hierarchy, l1d=hierarchy.l1d.with_write_policy(policy.dl1_write_policy)
+            )
+        return hierarchy
+
+    def with_policy(self, policy: Union[str, EccPolicyKind, EccPolicy]) -> "CoreConfig":
+        return replace(self, policy=policy)
+
+    def with_contention(self, contenders: int, mode: str = "worst") -> "CoreConfig":
+        return replace(
+            self, hierarchy=self.hierarchy.with_contention(contenders, mode)
+        )

@@ -1,0 +1,157 @@
+"""High-level simulation façade.
+
+Most users only need two calls::
+
+    from repro import simulate_kernel
+
+    baseline = simulate_kernel("matrix", policy="no-ecc")
+    laec = simulate_kernel("matrix", policy="laec")
+    print(laec.cycles / baseline.cycles - 1.0)   # Figure 8 data point
+
+:func:`simulate_program` does the same for an arbitrary assembled
+:class:`~repro.isa.program.Program`, and :class:`SimulationResult`
+bundles the functional trace, the timing statistics and the chronogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.core.policies import EccPolicy, EccPolicyKind, make_policy
+from repro.functional.simulator import FunctionalTrace, run_program
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.chronogram import Chronogram
+from repro.pipeline.config import CoreConfig, PipelineConfig
+from repro.pipeline.statistics import PipelineStatistics
+from repro.pipeline.timing import PipelineResult, TimingPipeline
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one program/policy simulation."""
+
+    program_name: str
+    policy: EccPolicy
+    trace: FunctionalTrace
+    timing: PipelineResult
+    hierarchy: MemoryHierarchy
+
+    @property
+    def cycles(self) -> int:
+        return self.timing.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.timing.instructions
+
+    @property
+    def cpi(self) -> float:
+        return self.timing.cpi
+
+    @property
+    def stats(self) -> PipelineStatistics:
+        return self.timing.stats
+
+    @property
+    def chronogram(self) -> Chronogram:
+        return self.timing.chronogram
+
+    def execution_time_increase_over(self, baseline: "SimulationResult") -> float:
+        """Relative execution-time increase versus ``baseline`` (Figure 8)."""
+        return self.timing.execution_time_increase_over(baseline.timing)
+
+    def summary(self) -> Dict[str, float]:
+        summary = dict(self.stats.as_dict())
+        summary["policy"] = self.policy.kind.value
+        summary["program"] = self.program_name
+        return summary
+
+
+def build_hierarchy(config: CoreConfig) -> MemoryHierarchy:
+    """Construct a private memory hierarchy for ``config``."""
+    return MemoryHierarchy(
+        config.resolved_hierarchy_config(),
+        write_buffer_entries=config.pipeline.write_buffer_entries,
+    )
+
+
+def simulate_program(
+    program: Program,
+    *,
+    policy: Union[str, EccPolicyKind, EccPolicy] = EccPolicyKind.NO_ECC,
+    config: Optional[CoreConfig] = None,
+    trace: Optional[FunctionalTrace] = None,
+    chronogram_window: int = 0,
+    max_instructions: int = 5_000_000,
+) -> SimulationResult:
+    """Run ``program`` under ``policy`` and return the combined result.
+
+    The functional trace can be passed in (``trace=``) to avoid re-running
+    the architectural simulation when timing the same program under
+    several policies — the stream is identical by construction because
+    none of the policies change architectural behaviour.
+    """
+    resolved_policy = make_policy(policy)
+    core_config = config or CoreConfig()
+    core_config = core_config.with_policy(resolved_policy)
+    pipeline_config = core_config.pipeline
+    if chronogram_window:
+        pipeline_config = pipeline_config.with_chronogram(chronogram_window)
+    if trace is None:
+        trace = run_program(program, max_instructions=max_instructions)
+    hierarchy = build_hierarchy(core_config)
+    pipeline = TimingPipeline(resolved_policy, hierarchy, pipeline_config)
+    timing = pipeline.run(trace)
+    return SimulationResult(
+        program_name=program.name,
+        policy=resolved_policy,
+        trace=trace,
+        timing=timing,
+        hierarchy=hierarchy,
+    )
+
+
+def simulate_kernel(
+    kernel_name: str,
+    *,
+    policy: Union[str, EccPolicyKind, EccPolicy] = EccPolicyKind.NO_ECC,
+    config: Optional[CoreConfig] = None,
+    chronogram_window: int = 0,
+    scale: float = 1.0,
+) -> SimulationResult:
+    """Assemble and simulate one of the EEMBC-Automotive-like kernels.
+
+    ``scale`` shrinks or grows the kernel's iteration counts (useful to
+    trade accuracy for speed in tests); 1.0 reproduces the default
+    workload sizes used by the benchmark harness.
+    """
+    # Imported lazily to keep the core library importable without the
+    # workload suite (and to avoid a circular import at package init).
+    from repro.workloads import build_kernel
+
+    program = build_kernel(kernel_name, scale=scale)
+    return simulate_program(
+        program,
+        policy=policy,
+        config=config,
+        chronogram_window=chronogram_window,
+    )
+
+
+def simulate_policies(
+    program: Program,
+    policies,
+    *,
+    config: Optional[CoreConfig] = None,
+) -> Dict[str, SimulationResult]:
+    """Time ``program`` under several policies, reusing one functional trace."""
+    trace = run_program(program)
+    results: Dict[str, SimulationResult] = {}
+    for policy in policies:
+        resolved = make_policy(policy)
+        results[resolved.kind.value] = simulate_program(
+            program, policy=resolved, config=config, trace=trace
+        )
+    return results

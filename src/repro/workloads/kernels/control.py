@@ -1,0 +1,338 @@
+"""Automotive control kernels: canrdr, puwmod, rspeed, tblook, ttsprk.
+
+* ``canrdr`` — CAN remote-data-request handling: scan a buffer of frame
+  identifiers, match them against an acceptance filter and update the
+  per-mailbox response counters.
+* ``puwmod`` — pulse-width-modulation duty-cycle control with clamping
+  and a proportional correction term.
+* ``rspeed`` — road-speed calculation from tooth-wheel timer deltas.
+* ``tblook`` — table lookup and linear interpolation.
+* ``ttsprk`` — tooth-to-spark: ignition advance lookup and dwell update.
+
+These kernels are branch- and load-heavy with the load addresses coming
+from pointers updated at the bottom of each loop, so LAEC anticipates
+almost every load (the paper reports < 1 % overhead for puwmod, rspeed
+and ttsprk).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.builder import deterministic_values, ramp, scaled, words_directive
+
+
+def build_canrdr_source(scale: float = 1.0) -> str:
+    """CAN remote data request processing (canrdr)."""
+    frames = scaled(200, scale, minimum=8)
+    repeats = scaled(5, scale, minimum=1)
+    identifiers = deterministic_values(frames, seed=81, low=0, high=1 << 11)
+    payloads = deterministic_values(frames, seed=83, low=0, high=1 << 16)
+    filters = deterministic_values(8, seed=82, low=0, high=1 << 11)
+    return f"""
+; canrdr: match CAN frame identifiers against an 8-entry acceptance filter
+.data
+frames:
+{words_directive(identifiers)}
+payloads:
+{words_directive(payloads)}
+filters:
+{words_directive(filters)}
+mailboxes:
+    .space 64
+rejected:
+    .word 0
+
+.text
+main:
+    set {repeats}, r25
+repeat:
+    set frames, r1
+    set payloads, r3
+    set {frames}, r24
+frame_loop:
+    ld [r1], r10                ; frame identifier
+    ld [r3], r17                ; frame payload (batched: consumed on a match)
+    and r10, 2047, r10          ; 11-bit identifier
+    set filters, r2
+    set 0, r21                  ; filter index
+filter_loop:
+    ld [r2], r11                ; acceptance filter entry
+    ld [r2+4], r19              ; next filter entry, prefetched by the scan
+    cmp r11, r10
+    be matched
+    add r2, 4, r2
+    add r21, 1, r21
+    cmp r21, 8
+    bl filter_loop
+    ; no filter matched: count the rejection
+    set rejected, r4
+    ld [r4], r12
+    add r12, 1, r12
+    st r12, [r4]
+    ba next_frame
+matched:
+    ; bump the mailbox counter for the matching filter
+    sll r21, 3, r13
+    set mailboxes, r5
+    add r5, r13, r14
+    ld [r14], r15
+    add r15, 1, r15
+    st r15, [r14]
+    ld [r14+4], r16             ; remote-request flag word
+    xor r16, r17, r16           ; fold the payload into the response flag
+    st r16, [r14+4]
+next_frame:
+    add r1, 4, r1
+    add r3, 4, r3
+    subcc r24, 1, r24
+    bg frame_loop
+    subcc r25, 1, r25
+    bg repeat
+    halt
+"""
+
+
+def build_puwmod_source(scale: float = 1.0) -> str:
+    """Pulse-width modulation duty-cycle control (puwmod)."""
+    samples = scaled(240, scale, minimum=8)
+    repeats = scaled(5, scale, minimum=1)
+    setpoints = deterministic_values(samples, seed=91, low=100, high=900)
+    feedback = deterministic_values(samples, seed=92, low=80, high=950)
+    return f"""
+; puwmod: proportional PWM duty-cycle update with clamping
+.data
+setpoints:
+{words_directive(setpoints)}
+feedback:
+{words_directive(feedback)}
+duty:
+    .space {4 * samples}
+controller:
+    .word 512, 250, 1000, 0      ; duty, gain, clamp_high, clamp_low
+
+.text
+main:
+    set {repeats}, r25
+repeat:
+    set setpoints, r1
+    set feedback, r2
+    set duty, r5
+    set controller, r6
+    set {samples}, r24
+loop:
+    ld [r1], r10                ; setpoint  (pointer bumped at loop end)
+    ld [r2], r11                ; measured value
+    sub r10, r11, r12           ; error
+    ld [r6+4], r15              ; proportional gain (controller struct)
+    ld [r6], r20                ; current duty cycle
+    smul r12, r15, r13          ; proportional term
+    sra r13, 10, r13
+    add r20, r13, r20           ; update the duty cycle
+    ld [r6+8], r16              ; clamp_high  (batched: used two below)
+    ld [r6+12], r17             ; clamp_low
+    cmp r20, r16
+    ble no_clamp_high
+    or r16, 0, r20
+no_clamp_high:
+    cmp r20, r17
+    bge no_clamp_low
+    or r17, 0, r20
+no_clamp_low:
+    st r20, [r6]
+    st r20, [r5]
+    add r5, 4, r5
+    add r1, 4, r1
+    add r2, 4, r2
+    subcc r24, 1, r24
+    bg loop
+    subcc r25, 1, r25
+    bg repeat
+    halt
+"""
+
+
+def build_rspeed_source(scale: float = 1.0) -> str:
+    """Road speed calculation from timer deltas (rspeed)."""
+    samples = scaled(220, scale, minimum=8)
+    repeats = scaled(5, scale, minimum=1)
+    deltas = deterministic_values(samples, seed=101, low=50, high=4000)
+    return f"""
+; rspeed: road speed from tooth-wheel timer deltas, with filtering
+.data
+deltas:
+{words_directive(deltas)}
+speeds:
+    .space {4 * samples}
+sensor:
+    .word 0, 29127, 640, 0       ; filtered_speed, reciprocal seed, pulses/km, overflow_count
+
+.text
+main:
+    set {repeats}, r25
+repeat:
+    set deltas, r1
+    set speeds, r5
+    set sensor, r6
+    set {samples}, r24
+loop:
+    ld [r1], r10                ; timer delta
+    ld [r6+8], r18              ; pulses per km calibration
+    cmp r10, 64
+    bge delta_ok
+    ld [r6+12], r11             ; implausibly small delta: count and skip
+    add r11, 1, r11
+    st r11, [r6+12]
+    ba next
+delta_ok:
+    ; speed ~ constant / delta, computed as a reciprocal multiply to
+    ; match the integer-only pipelines of LEON-class parts
+    ld [r6+4], r12              ; reciprocal seed (2^28 / 9216)
+    sub r12, r10, r15           ; first-order correction of the seed
+    sra r15, 4, r15
+    add r12, r15, r12
+    smul r12, r10, r13
+    sra r13, 12, r13            ; raw speed estimate
+    smul r13, r18, r13          ; scale by the wheel calibration
+    sra r13, 9, r13
+    ld [r6], r20                ; filtered speed state
+    add r20, r13, r14           ; simple low-pass: avg of old and new
+    sra r14, 1, r20
+    st r20, [r6]
+    st r20, [r5]
+next:
+    add r5, 4, r5
+    add r1, 4, r1
+    subcc r24, 1, r24
+    bg loop
+    subcc r25, 1, r25
+    bg repeat
+    halt
+"""
+
+
+def build_tblook_source(scale: float = 1.0) -> str:
+    """Table lookup and interpolation (tblook)."""
+    table_size = 32
+    samples = scaled(160, scale, minimum=8)
+    repeats = scaled(5, scale, minimum=1)
+    x_axis = ramp(table_size, start=0, step=256)
+    y_axis = deterministic_values(table_size, seed=111, low=0, high=1 << 12)
+    queries = deterministic_values(samples, seed=112, low=0, high=256 * (table_size - 1))
+    return f"""
+; tblook: breakpoint-table lookup with linear interpolation
+.data
+x_axis:
+{words_directive(x_axis)}
+y_axis:
+{words_directive(y_axis)}
+queries:
+{words_directive(queries)}
+answers:
+    .space {4 * samples}
+
+.text
+main:
+    set {repeats}, r25
+repeat:
+    set queries, r1
+    set answers, r5
+    set {samples}, r24
+query_loop:
+    ld [r1], r10                ; query x
+    ; index search: x / 256 gives the breakpoint directly (uniform axis),
+    ; but we still walk the axis to mimic the real benchmark's search.
+    set x_axis, r2
+    set 0, r21                  ; index
+search_loop:
+    ld [r2+4], r11              ; x_axis[index + 1]
+    cmp r11, r10
+    bg found
+    add r2, 4, r2
+    add r21, 1, r21
+    cmp r21, {table_size - 2}
+    bl search_loop
+found:
+    ; interpolate between (x0, y0) and (x1, y1)
+    ld [r2], r12                ; x0
+    sll r21, 2, r15
+    set y_axis, r3
+    add r3, r15, r19            ; &y_axis[index]
+    ld [r19], r13               ; y0   (address computed just above)
+    ld [r19+4], r14             ; y1
+    sub r10, r12, r16           ; dx = x - x0
+    sub r14, r13, r17           ; dy = y1 - y0
+    smul r16, r17, r18
+    sra r18, 8, r18             ; dx*dy / 256
+    add r13, r18, r18           ; interpolated value
+    st r18, [r5]
+    add r5, 4, r5
+    add r1, 4, r1
+    subcc r24, 1, r24
+    bg query_loop
+    subcc r25, 1, r25
+    bg repeat
+    halt
+"""
+
+
+def build_ttsprk_source(scale: float = 1.0) -> str:
+    """Tooth-to-spark ignition timing (ttsprk)."""
+    teeth = scaled(200, scale, minimum=8)
+    repeats = scaled(5, scale, minimum=1)
+    tooth_times = deterministic_values(teeth, seed=121, low=100, high=2000)
+    advance_map = deterministic_values(64, seed=122, low=0, high=60)
+    return f"""
+; ttsprk: spark advance lookup and dwell update per tooth event
+.data
+tooth_times:
+{words_directive(tooth_times)}
+advance_map:
+{words_directive(advance_map)}
+dwell:
+    .space {4 * teeth}
+engine:
+    .word 0, 460800, 0, 12       ; rpm_filtered, rpm_constant, spark_count, min_dwell
+
+.text
+main:
+    set {repeats}, r25
+repeat:
+    set tooth_times, r1
+    set dwell, r5
+    set engine, r6
+    set {teeth}, r24
+tooth_loop:
+    ld [r1], r10                ; tooth period
+    ld [r6+4], r11              ; rpm constant (engine struct)
+    srl r10, 3, r12             ; rpm estimate via shift-based reciprocal
+    sub r11, r12, r12
+    srl r12, 9, r12
+    ld [r6], r20                ; filtered rpm state
+    add r20, r12, r13           ; low-pass filter
+    sra r13, 1, r20
+    st r20, [r6]
+    ; advance map lookup indexed by the rpm band
+    srl r20, 6, r14
+    and r14, 63, r14
+    sll r14, 2, r14
+    set advance_map, r2
+    ld [r2+r14], r15            ; spark advance (index computed above)
+    smul r15, r10, r16          ; advance in timer ticks
+    sra r16, 6, r16
+    sub r10, r16, r17           ; dwell time before the spark
+    ld [r6+12], r19             ; minimum dwell
+    cmp r17, r19
+    bg dwell_ok
+    or r19, 0, r17
+dwell_ok:
+    st r17, [r5]
+    ld [r6+8], r18              ; spark counter
+    add r18, 1, r18
+    st r18, [r6+8]
+    add r5, 4, r5
+    add r1, 4, r1
+    subcc r24, 1, r24
+    bg tooth_loop
+    subcc r25, 1, r25
+    bg repeat
+    halt
+"""

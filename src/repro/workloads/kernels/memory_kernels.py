@@ -1,0 +1,176 @@
+"""Memory-behaviour kernels: cacheb, pntrch, bitmnp.
+
+* ``cacheb`` — the "cache buster": strided sweeps over a buffer larger
+  than the 16 KiB DL1.  Loaded values are deliberately *not* consumed by
+  the next couple of instructions, reproducing the paper's observation
+  that only ~13 % of cacheb's loads have a nearby consumer (and hence
+  that the Extra Stage scheme barely hurts it).
+* ``pntrch`` — pointer chasing through a shuffled linked list with a
+  small amount of per-node work.
+* ``bitmnp`` — bit manipulation where the bit-table index is derived
+  from the value computed immediately before the load, blocking LAEC
+  anticipation (one of the paper's four no-improvement benchmarks).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.builder import (
+    deterministic_values,
+    linked_list_nodes,
+    scaled,
+    words_directive,
+)
+
+
+def build_cacheb_source(scale: float = 1.0) -> str:
+    """Cache-busting strided sweep (cacheb)."""
+    buffer_words = 24 * 1024            # 96 KiB, six times the DL1 size
+    stride_words = 24                   # 96 B stride: three lines apart
+    sweeps = scaled(4, scale, minimum=1)
+    seed_words = deterministic_values(256, seed=131, low=0, high=1 << 16)
+    return f"""
+; cacheb: strided sweeps over a {buffer_words * 4 // 1024} KiB buffer ({stride_words * 4}-byte stride)
+.data
+seeds:
+{words_directive(seed_words)}
+buffer:
+    .space {4 * buffer_words}
+checksum:
+    .word 0
+
+.text
+main:
+    ; initialise the head of the buffer from the seed table so the sweep
+    ; reads non-zero data (the tail stays zero, which is fine)
+    set seeds, r1
+    set buffer, r2
+    set 256, r24
+init_loop:
+    ld [r1], r10
+    st r10, [r2]
+    add r1, 4, r1
+    add r2, 4, r2
+    subcc r24, 1, r24
+    bg init_loop
+    ; ------------------------------------------------------------------
+    set {sweeps}, r25
+sweep_loop:
+    set buffer, r1
+    set 0, r20                  ; running checksum
+    set {buffer_words // stride_words}, r24
+stride_loop:
+    ld [r1], r10                ; strided load (frequently a DL1 miss)
+    ; keep the loaded values un-consumed for a few instructions so that
+    ; only a small fraction of loads count as "dependent" (Table II);
+    ; the two extra loads land in the same line and therefore hit.
+    ld [r1+8], r11
+    ld [r1+16], r12
+    add r1, {4 * stride_words}, r1
+    subcc r24, 1, r24
+    add r20, r10, r20           ; consume the values only at distance >= 3
+    xor r20, r11, r20
+    add r20, r12, r20
+    bg stride_loop
+    set checksum, r5
+    st r20, [r5]
+    subcc r25, 1, r25
+    bg sweep_loop
+    halt
+"""
+
+
+def build_pntrch_source(scale: float = 1.0) -> str:
+    """Pointer chase over a shuffled linked list (pntrch)."""
+    nodes = 192
+    node_words = 4
+    hops = scaled(1400, scale, minimum=16)
+    image = linked_list_nodes(nodes, node_words=node_words, seed=141)
+    return f"""
+; pntrch: chase a {nodes}-node shuffled list, {node_words} words per node
+.data
+nodes:
+{words_directive(image)}
+hits:
+    .word 0
+
+.text
+main:
+    set nodes, r7               ; list base
+    or r7, 0, r1                ; current node pointer
+    set 0, r20                  ; match counter
+    set {hops}, r24
+chase_loop:
+    ld [r1+4], r10              ; payload word 1
+    ld [r1+8], r11              ; payload word 2
+    xor r10, r11, r12           ; per-node work on the payload
+    and r12, 255, r12
+    cmp r12, 42
+    bne no_match
+    add r20, 1, r20
+no_match:
+    ld [r1], r13                ; next-node *index*
+    sll r13, {2 + (node_words.bit_length() - 1)}, r13   ; index -> byte offset
+    add r7, r13, r1             ; next node address
+    subcc r24, 1, r24
+    bg chase_loop
+    set hits, r5
+    st r20, [r5]
+    halt
+"""
+
+
+def build_bitmnp_source(scale: float = 1.0) -> str:
+    """Bit manipulation with value-dependent table indexing (bitmnp)."""
+    words = scaled(200, scale, minimum=8)
+    repeats = scaled(6, scale, minimum=1)
+    data = deterministic_values(words, seed=151, low=0, high=1 << 16)
+    masks = [1 << (i % 32) for i in range(32)]
+    return f"""
+; bitmnp: per-word bit twiddling driven by a value-indexed mask table
+.data
+data_words:
+{words_directive(data)}
+bit_masks:
+{words_directive(masks)}
+population:
+    .word 0
+
+.text
+main:
+    set {repeats}, r25
+repeat:
+    set data_words, r1
+    set 0, r20                  ; population accumulator
+    set 0, r23                  ; word index
+word_loop:
+    ; the word's byte offset is computed from the index right before the
+    ; load, so LAEC has a data hazard on the address register and cannot
+    ; anticipate it (one of the paper's four no-improvement benchmarks)
+    sll r23, 2, r9
+    ld [r1+r9], r10             ; data word (address operand produced above)
+    ; derive the mask index from the *value* we just loaded: the index
+    ; lands in the instruction right before the mask load, so LAEC has a
+    ; data hazard and cannot anticipate the second load either.
+    and r10, 31, r11
+    sll r11, 2, r11
+    set bit_masks, r2
+    ld [r2+r11], r12            ; mask   (address operand produced above)
+    and r10, r12, r13
+    cmp r13, 0
+    be bit_clear
+    add r20, 1, r20             ; count set bits selected by the mask
+    xor r10, r12, r10           ; toggle the bit
+    ba store_back
+bit_clear:
+    or r10, r12, r10            ; set the bit
+store_back:
+    st r10, [r1+r9]
+    add r23, 1, r23
+    cmp r23, {words}
+    bl word_loop
+    set population, r5
+    st r20, [r5]
+    subcc r25, 1, r25
+    bg repeat
+    halt
+"""

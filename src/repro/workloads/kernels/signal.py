@@ -1,0 +1,222 @@
+"""Signal-processing kernels: aifftr, aiifft, aifirf, iirflt.
+
+* ``aifftr`` / ``aiifft`` — radix-2 decimation-in-time FFT / inverse FFT
+  butterflies over a fixed-point sample buffer.  Butterfly element
+  addresses are computed from the loop indices *immediately before* the
+  loads, which is exactly the pattern the paper identifies as limiting
+  LAEC (the address register is produced by the preceding instruction).
+* ``aifirf`` — direct-form FIR filter: the inner tap loop walks two
+  pointers that are updated at the *end* of the loop body, so loads can
+  almost always be anticipated.
+* ``iirflt`` — cascaded biquad IIR sections with the filter state kept
+  in registers.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.builder import (
+    deterministic_values,
+    scaled,
+    sine_table,
+    words_directive,
+)
+
+
+def build_aifftr_source(scale: float = 1.0, *, inverse: bool = False) -> str:
+    """Radix-2 FFT butterfly passes (aifftr) or inverse FFT (aiifft)."""
+    points = 64
+    passes = scaled(6, scale, minimum=2)          # log2(64) = 6 stages
+    repeats = scaled(10, scale, minimum=1)
+    real = sine_table(points, seed=3 if not inverse else 5)
+    imag = sine_table(points, seed=4 if not inverse else 6)
+    twiddle = sine_table(points, seed=9)
+    sign = -1 if inverse else 1
+    name = "aiifft" if inverse else "aifftr"
+    return f"""
+; {name}: radix-2 {'inverse ' if inverse else ''}FFT butterflies, fixed point
+.data
+real:
+{words_directive(real)}
+imag:
+{words_directive(imag)}
+twiddle:
+{words_directive(twiddle)}
+
+.text
+main:
+    set {repeats}, r25          ; outer repetitions
+outer:
+    set {passes}, r24           ; FFT stages
+    set 1, r23                  ; half-size = 1, doubles per stage
+stage:
+    set 0, r22                  ; butterfly group index
+group:
+    ; element indices: i = group, j = group + half
+    add r22, r23, r21           ; j = i + half
+    ; --- load real[i] : index scaled right before the load (no look-ahead)
+    sll r22, 2, r15             ; byte offset of i
+    set real, r2
+    ld [r2+r15], r10            ; real[i]   (address reg produced just above)
+    sll r21, 2, r16             ; byte offset of j
+    ld [r2+r16], r11            ; real[j]
+    ; --- twiddle factor lookup, again with a freshly computed offset
+    sll r22, 2, r17
+    set twiddle, r3
+    ld [r3+r17], r12            ; w
+    ; butterfly on the real part
+    smul r11, r12, r13          ; t = real[j] * w
+    sra r13, 12, r13            ; fixed-point scaling
+    add r10, r13, r14           ; real[i] + t
+    sub r10, r13, r18           ; real[i] - t
+    st r14, [r2+r15]
+    st r18, [r2+r16]
+    ; --- imaginary part, same addressing pattern
+    set imag, r4
+    ld [r4+r15], r10            ; imag[i]
+    ld [r4+r16], r11            ; imag[j]
+    smul r11, r12, r13
+    sra r13, 12, r13
+    {'sub' if sign < 0 else 'add'} r10, r13, r14
+    {'add' if sign < 0 else 'sub'} r10, r13, r18
+    st r14, [r4+r15]
+    st r18, [r4+r16]
+    ; next butterfly group (skip by 2*half to stay in range)
+    add r23, r23, r19
+    add r22, r19, r22
+    cmp r22, {points - 1}
+    bl group
+    ; next stage: double the half size
+    add r23, r23, r23
+    cmp r23, {points}
+    bge stage_done
+    subcc r24, 1, r24
+    bg stage
+stage_done:
+    subcc r25, 1, r25
+    bg outer
+    halt
+"""
+
+
+def build_aiifft_source(scale: float = 1.0) -> str:
+    """Inverse-FFT variant of :func:`build_aifftr_source`."""
+    return build_aifftr_source(scale, inverse=True)
+
+
+def build_aifirf_source(scale: float = 1.0) -> str:
+    """Direct-form FIR filter (aifirf)."""
+    taps = 16
+    samples = scaled(96, scale, minimum=taps + 1)
+    repeats = scaled(6, scale, minimum=1)
+    coefficients = deterministic_values(taps, seed=21, low=1, high=1 << 10)
+    signal = sine_table(samples + taps, seed=22)
+    return f"""
+; aifirf: {taps}-tap direct-form FIR filter over {samples} samples
+.data
+coeffs:
+{words_directive(coefficients)}
+signal:
+{words_directive(signal)}
+output:
+    .space {4 * samples}
+
+.text
+main:
+    set {repeats}, r25
+repeat:
+    set {samples}, r24          ; sample loop counter
+    set signal, r1              ; sliding window base
+    set output, r5
+sample_loop:
+    set coeffs, r2              ; coefficient pointer
+    or r1, 0, r3                ; window pointer (copy of sample base)
+    set 0, r10                  ; accumulator
+    set {taps // 2}, r23
+tap_loop:
+    ; two taps per iteration: loads are partially batched ahead of the
+    ; multiplies, so only some of them have a consumer within distance 2
+    ld [r2], r11                ; coefficient k
+    ld [r3], r12                ; sample k
+    ld [r2+4], r14              ; coefficient k+1  (consumed further away)
+    smul r11, r12, r13
+    add r10, r13, r10           ; accumulate tap k
+    ld [r3+4], r15              ; sample k+1
+    smul r14, r15, r16
+    add r10, r16, r10           ; accumulate tap k+1
+    add r2, 8, r2
+    add r3, 8, r3
+    subcc r23, 1, r23
+    bg tap_loop
+    sra r10, 10, r10            ; renormalise the fixed-point product
+    st r10, [r5]
+    add r5, 4, r5
+    add r1, 4, r1               ; slide the window by one sample
+    subcc r24, 1, r24
+    bg sample_loop
+    subcc r25, 1, r25
+    bg repeat
+    halt
+"""
+
+
+def build_iirflt_source(scale: float = 1.0) -> str:
+    """Cascaded biquad IIR filter (iirflt)."""
+    samples = scaled(140, scale, minimum=8)
+    repeats = scaled(7, scale, minimum=1)
+    signal = sine_table(samples, seed=31)
+    return f"""
+; iirflt: biquad section with coefficients and delay line kept in memory,
+; as a compiler would for a filter-state structure passed by reference
+.data
+signal:
+{words_directive(signal)}
+output:
+    .space {4 * samples}
+gains:
+    .word 1967, 3934, 1967, 1620, 675      ; b0 b1 b2 a1 a2 (Q12)
+state:
+    .word 0, 0, 0, 0                        ; x[n-1] x[n-2] y[n-1] y[n-2]
+
+.text
+main:
+    set {repeats}, r25
+repeat:
+    set signal, r1
+    set output, r2
+    set gains, r3
+    set state, r4
+    set {samples}, r24
+sample_loop:
+    ld [r1], r10                ; x[n]    (base pointer bumped at loop end)
+    ld [r3], r16                ; b0
+    smul r10, r16, r15          ; b0*x        (consumes both loads)
+    ld [r3+4], r17              ; b1
+    ld [r4], r11                ; x[n-1]      (batched: used two below)
+    ld [r4+4], r12              ; x[n-2]
+    smul r11, r17, r21
+    add r15, r21, r15
+    ld [r3+8], r18              ; b2
+    smul r12, r18, r21
+    add r15, r21, r21
+    ld [r3+12], r19             ; a1
+    ld [r4+8], r13              ; y[n-1]      (batched)
+    ld [r4+12], r14             ; y[n-2]
+    smul r13, r19, r22
+    sub r21, r22, r21
+    ld [r3+16], r20             ; a2
+    smul r14, r20, r22
+    sub r21, r22, r21
+    sra r21, 12, r21            ; y[n]
+    st r21, [r2]
+    st r11, [r4+4]              ; shift the delay line in memory
+    st r10, [r4]
+    st r13, [r4+12]
+    st r21, [r4+8]
+    add r1, 4, r1
+    add r2, 4, r2
+    subcc r24, 1, r24
+    bg sample_loop
+    subcc r25, 1, r25
+    bg repeat
+    halt
+"""

@@ -1,0 +1,262 @@
+"""Synthetic dynamic-instruction-stream generator.
+
+The generator fabricates a :class:`~repro.functional.simulator.FunctionalTrace`
+directly — no assembly, no functional execution — with first-order
+statistics dialled in by configuration:
+
+* fraction of loads and stores,
+* fraction of loads whose value is consumed at distance 1 or 2,
+* fraction of loads whose *address register* is produced by the
+  immediately preceding instruction (the LAEC data hazard),
+* target DL1 hit rate (via a hot working set that fits in the cache
+  versus streaming cold addresses),
+* fraction of (taken) branches.
+
+This is the tool the sensitivity ablations use to sweep Table II-style
+parameters continuously, including pinning them to the paper's exact
+per-benchmark values.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.functional.simulator import DynInstruction, FunctionalTrace
+from repro.isa.instructions import Instruction, Mnemonic
+from repro.workloads.table2_reference import Table2Row
+
+_DATA_BASE = 0x4020_0000
+_COLD_BASE = 0x4100_0000
+_TEXT_BASE = 0x4000_0000
+
+
+@dataclass(frozen=True)
+class SyntheticStreamConfig:
+    """Target statistics for a synthetic stream."""
+
+    instructions: int = 20_000
+    load_fraction: float = 0.25
+    store_fraction: float = 0.08
+    branch_fraction: float = 0.12
+    taken_branch_fraction: float = 0.6
+    dependent_load_fraction: float = 0.60
+    dependent_distance_1_fraction: float = 0.7
+    address_from_previous_fraction: float = 0.30
+    load_hit_rate: float = 0.89
+    hot_lines: int = 128
+    line_bytes: int = 32
+    seed: int = 2019
+
+    @classmethod
+    def from_table2_row(
+        cls,
+        row: Table2Row,
+        *,
+        instructions: int = 20_000,
+        address_from_previous_fraction: float = 0.30,
+        seed: int = 2019,
+    ) -> "SyntheticStreamConfig":
+        """Calibrate a configuration to one row of the paper's Table II."""
+        return cls(
+            instructions=instructions,
+            load_fraction=row.pct_loads / 100.0,
+            dependent_load_fraction=row.pct_dependent_loads / 100.0,
+            load_hit_rate=row.pct_hit_loads / 100.0,
+            address_from_previous_fraction=address_from_previous_fraction,
+            seed=seed,
+        )
+
+
+class SyntheticWorkloadGenerator:
+    """Generates synthetic traces according to a :class:`SyntheticStreamConfig`."""
+
+    def __init__(self, config: SyntheticStreamConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    def generate(self, *, name: str = "synthetic") -> FunctionalTrace:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        trace = FunctionalTrace(program_name=name)
+        instructions: List[DynInstruction] = trace.instructions
+
+        hot_addresses = [
+            _DATA_BASE + line * cfg.line_bytes for line in range(cfg.hot_lines)
+        ]
+        cold_cursor = _COLD_BASE
+        pc = _TEXT_BASE
+        index = 0
+        #: Registers reserved: r1-r4 address bases, r10-r19 data values,
+        #: r20-r24 scratch for fillers.
+        pending_consumers: List[tuple] = []  # (emit_at_index, register)
+
+        def alu_filler(dest: int, srcs: tuple) -> Instruction:
+            rs1 = srcs[0] if srcs else 20
+            rs2 = srcs[1] if len(srcs) > 1 else 0
+            return Instruction(
+                mnemonic=Mnemonic.ADD,
+                rd=dest,
+                rs1=rs1,
+                rs2=rs2,
+                uses_imm=len(srcs) < 2,
+                imm=1 if len(srcs) < 2 else 0,
+                address=pc,
+                text="synthetic-alu",
+            )
+
+        while index < cfg.instructions:
+            # Emit any scheduled consumer of an earlier load first so the
+            # dependent-load distances come out as configured.
+            consumer = next(
+                (c for c in pending_consumers if c[0] == index), None
+            )
+            if consumer is not None:
+                pending_consumers.remove(consumer)
+                instr = alu_filler(20 + rng.randrange(5), (consumer[1],))
+                instructions.append(
+                    DynInstruction(
+                        index=index, pc=pc, instruction=instr, next_pc=pc + 4
+                    )
+                )
+                pc += 4
+                index += 1
+                continue
+
+            draw = rng.random()
+            if draw < cfg.load_fraction:
+                index, pc, cold_cursor = self._emit_load(
+                    rng, instructions, index, pc, hot_addresses, cold_cursor,
+                    pending_consumers,
+                )
+            elif draw < cfg.load_fraction + cfg.store_fraction:
+                address = rng.choice(hot_addresses)
+                instr = Instruction(
+                    mnemonic=Mnemonic.ST,
+                    rd=10 + rng.randrange(10),
+                    rs1=1,
+                    imm=address - _DATA_BASE,
+                    uses_imm=True,
+                    address=pc,
+                    text="synthetic-store",
+                )
+                instructions.append(
+                    DynInstruction(
+                        index=index,
+                        pc=pc,
+                        instruction=instr,
+                        address=address,
+                        size=4,
+                        next_pc=pc + 4,
+                    )
+                )
+                pc += 4
+                index += 1
+            elif draw < cfg.load_fraction + cfg.store_fraction + cfg.branch_fraction:
+                taken = rng.random() < cfg.taken_branch_fraction
+                instr = Instruction(
+                    mnemonic=Mnemonic.BNE,
+                    imm=-64 if taken else 8,
+                    uses_imm=True,
+                    address=pc,
+                    text="synthetic-branch",
+                )
+                next_pc = pc + instr.imm if taken else pc + 4
+                instructions.append(
+                    DynInstruction(
+                        index=index,
+                        pc=pc,
+                        instruction=instr,
+                        branch_taken=taken,
+                        next_pc=next_pc,
+                    )
+                )
+                pc += 4
+                index += 1
+            else:
+                dest = 20 + rng.randrange(5)
+                srcs = (20 + rng.randrange(5),)
+                instructions.append(
+                    DynInstruction(
+                        index=index,
+                        pc=pc,
+                        instruction=alu_filler(dest, srcs),
+                        next_pc=pc + 4,
+                    )
+                )
+                pc += 4
+                index += 1
+        trace.halted = True
+        return trace
+
+    # ------------------------------------------------------------------ #
+    def _emit_load(
+        self,
+        rng: random.Random,
+        instructions: List[DynInstruction],
+        index: int,
+        pc: int,
+        hot_addresses: List[int],
+        cold_cursor: int,
+        pending_consumers: List[tuple],
+    ):
+        cfg = self.config
+        base_register = 1
+        value_register = 10 + rng.randrange(10)
+
+        # Optionally emit an address-producing instruction right before the
+        # load (the LAEC data hazard pattern).
+        if rng.random() < cfg.address_from_previous_fraction:
+            address_register = 5
+            producer = Instruction(
+                mnemonic=Mnemonic.ADD,
+                rd=address_register,
+                rs1=base_register,
+                imm=rng.randrange(0, 64) * 4,
+                uses_imm=True,
+                address=pc,
+                text="synthetic-addrgen",
+            )
+            instructions.append(
+                DynInstruction(index=index, pc=pc, instruction=producer, next_pc=pc + 4)
+            )
+            pc += 4
+            index += 1
+            load_rs1 = address_register
+        else:
+            load_rs1 = base_register
+
+        if rng.random() < cfg.load_hit_rate:
+            address = rng.choice(hot_addresses)
+        else:
+            address = cold_cursor
+            cold_cursor += cfg.line_bytes
+
+        load = Instruction(
+            mnemonic=Mnemonic.LD,
+            rd=value_register,
+            rs1=load_rs1,
+            imm=0,
+            uses_imm=True,
+            address=pc,
+            text="synthetic-load",
+        )
+        instructions.append(
+            DynInstruction(
+                index=index,
+                pc=pc,
+                instruction=load,
+                address=address,
+                size=4,
+                next_pc=pc + 4,
+            )
+        )
+        load_index = index
+        pc += 4
+        index += 1
+
+        if rng.random() < cfg.dependent_load_fraction:
+            distance = 1 if rng.random() < cfg.dependent_distance_1_fraction else 2
+            pending_consumers.append((load_index + distance, value_register))
+        return index, pc, cold_cursor

@@ -1,0 +1,198 @@
+"""Tests for the set-associative cache, replacement policies and write buffer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import HsiaoSecDedCode
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.config import CacheConfig, ReplacementPolicy, WritePolicy
+from repro.memory.replacement import FifoState, LruState, RandomState
+from repro.memory.write_buffer import WriteBuffer
+
+
+def _small_cache(**overrides) -> SetAssociativeCache:
+    defaults = dict(size_bytes=1024, line_bytes=32, ways=2, name="test")
+    defaults.update(overrides)
+    return SetAssociativeCache(CacheConfig(**defaults))
+
+
+class TestGeometry:
+    def test_sets_and_lines(self):
+        config = CacheConfig(size_bytes=16 * 1024, line_bytes=32, ways=4)
+        assert config.sets == 128
+        assert config.lines == 512
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=32, ways=4)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, line_bytes=24, ways=2)
+
+    def test_address_split_round_trip(self):
+        cache = _small_cache()
+        tag, set_index, offset = cache.split_address(0x40100124)
+        assert offset == 0x4
+        reconstructed = cache._rebuild_address(tag, set_index) + offset
+        assert reconstructed == 0x40100124
+
+
+class TestHitMiss:
+    def test_first_access_misses_then_hits(self):
+        cache = _small_cache()
+        assert cache.access(0x1000).miss
+        assert cache.access(0x1000).hit
+        assert cache.access(0x101C).hit  # same 32-byte line
+
+    def test_lru_eviction_within_set(self):
+        cache = _small_cache()  # 2-way, 16 sets, 32B lines -> set stride 512
+        a, b, c = 0x0, 0x200, 0x400  # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)          # a is now most recently used
+        result = cache.access(c)  # evicts b
+        assert result.miss
+        assert cache.probe(a)
+        assert not cache.probe(b)
+
+    def test_write_back_marks_dirty_and_writes_back(self):
+        cache = _small_cache(write_policy=WritePolicy.WRITE_BACK)
+        cache.access(0x0, is_write=True)
+        assert cache.dirty_line_count() == 1
+        cache.access(0x200)
+        result = cache.access(0x400)  # evicts the dirty line at 0x0
+        assert result.writeback
+        assert result.writeback_address == 0x0
+
+    def test_write_through_never_dirty(self):
+        cache = _small_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        cache.access(0x0, is_write=True)
+        assert cache.dirty_line_count() == 0
+
+    def test_write_no_allocate(self):
+        cache = _small_cache(write_allocate=False)
+        result = cache.access(0x3000, is_write=True)
+        assert result.miss and not result.allocated
+        assert not cache.probe(0x3000)
+
+    def test_invalidate_all(self):
+        cache = _small_cache()
+        cache.access(0x0)
+        cache.invalidate_all()
+        assert cache.valid_line_count() == 0
+
+    def test_statistics(self):
+        cache = _small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x40, is_write=True)
+        stats = cache.stats
+        assert stats.accesses == 3
+        assert stats.read_hits == 1 and stats.read_misses == 1
+        assert stats.write_misses == 1
+        assert 0 < stats.hit_rate < 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=1, max_size=200))
+    @settings(max_examples=25)
+    def test_second_access_to_same_line_always_hits(self, addresses):
+        cache = SetAssociativeCache(
+            CacheConfig(size_bytes=16 * 1024, line_bytes=32, ways=4)
+        )
+        for address in addresses:
+            cache.access(address)
+            assert cache.access(address).hit
+
+
+class TestEccShadow:
+    def test_store_load_round_trip(self):
+        cache = _small_cache()
+        cache.ecc_code = HsiaoSecDedCode()
+        cache.ecc_store_word(0x100, 0xDEADBEEF)
+        result = cache.ecc_load_word(0x100)
+        assert result is not None and result.data == 0xDEADBEEF
+
+    def test_flip_and_correct(self):
+        cache = SetAssociativeCache(
+            CacheConfig(size_bytes=1024, line_bytes=32, ways=2),
+            ecc_code=HsiaoSecDedCode(),
+        )
+        cache.ecc_store_word(0x40, 0x12345678)
+        assert cache.ecc_flip_bit(0x40, 5)
+        result = cache.ecc_load_word(0x40)
+        assert result.corrected and result.data == 0x12345678
+
+    def test_without_code_is_noop(self):
+        cache = _small_cache()
+        cache.ecc_store_word(0x40, 1)
+        assert cache.ecc_load_word(0x40) is None
+        assert not cache.ecc_flip_bit(0x40, 0)
+
+
+class TestReplacementStates:
+    def test_lru_prefers_invalid_ways(self):
+        state = LruState(4)
+        assert state.victim([True, False, True, True]) == 1
+
+    def test_lru_order(self):
+        state = LruState(2)
+        state.fill(0)
+        state.fill(1)
+        state.touch(0)
+        assert state.victim([True, True]) == 1
+
+    def test_fifo_ignores_touches(self):
+        state = FifoState(2)
+        state.fill(0)
+        state.fill(1)
+        state.touch(0)
+        assert state.victim([True, True]) == 0
+
+    def test_random_is_deterministic_per_seed(self):
+        a = RandomState(4, seed=3)
+        b = RandomState(4, seed=3)
+        valid = [True] * 4
+        assert [a.victim(valid) for _ in range(10)] == [
+            b.victim(valid) for _ in range(10)
+        ]
+
+    def test_replacement_policy_selection(self):
+        for policy in ReplacementPolicy:
+            cache = _small_cache(replacement=policy)
+            cache.access(0x0)
+            assert cache.access(0x0).hit
+
+
+class TestWriteBuffer:
+    def test_empty_buffer_reports_empty(self):
+        buffer = WriteBuffer(capacity=2)
+        assert buffer.empty_at(10)
+        assert buffer.drain_complete_time(10) == 10
+
+    def test_entries_drain_over_time(self):
+        buffer = WriteBuffer(capacity=4)
+        buffer.push(10, drain_latency=5)
+        assert not buffer.empty_at(12)
+        assert buffer.empty_at(16)
+
+    def test_sequential_drain(self):
+        buffer = WriteBuffer(capacity=4)
+        buffer.push(10, drain_latency=5)
+        buffer.push(10, drain_latency=5)
+        # The second entry starts after the first finishes.
+        assert buffer.drain_complete_time(10) == 20
+
+    def test_full_buffer_back_pressure(self):
+        buffer = WriteBuffer(capacity=1)
+        buffer.push(10, drain_latency=8)
+        stalled_until = buffer.push(11, drain_latency=8)
+        assert stalled_until == 18
+        assert buffer.stats.full_stalls == 1
+        assert buffer.stats.full_stall_cycles == 7
+
+    def test_statistics_and_reset(self):
+        buffer = WriteBuffer(capacity=2)
+        buffer.push(0, 1)
+        buffer.record_load_wait(3)
+        assert buffer.stats.stores_buffered == 1
+        assert buffer.stats.load_drain_stall_cycles == 3
+        buffer.reset()
+        assert buffer.stats.stores_buffered == 0
