@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Fast-path performance harness entry point.
+
+Times the three optimized layers (table-driven ECC codecs, fast-path
+timing engine, cached/parallel experiment sweep) against the seed
+implementations kept in ``repro.ecc.reference`` and
+``repro.pipeline.reference_timing``, then writes the results to a
+``BENCH_<n>.json`` at the repository root.  See PERFORMANCE.md for the
+architecture and the JSON field reference.
+
+Usage (from the repository root)::
+
+    benchmarks/run_bench.sh                 # full run, writes BENCH_1.json
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf.harness import render_report, run_harness  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_1.json"),
+        help="output JSON path (default: BENCH_1.json at the repo root)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="fault-campaign trials per (code, multiplicity) point "
+        "(default: 2000, or 200 with --quick)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="kernel scale for the timing and sweep benchmarks "
+        "(default: 0.4, or 0.08/0.1 with --quick)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool workers for the sweep (default: serial; 0 = cpu count)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="best-of repeats for the codec/timing benchmarks "
+        "(default: 3, or 1 with --quick)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny smoke-test configuration (seconds, not minutes); "
+        "explicit --trials/--scale/--repeats still override it",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        trials = args.trials if args.trials is not None else 200
+        repeats = args.repeats if args.repeats is not None else 1
+        sweep_scale = args.scale if args.scale is not None else 0.08
+        timing_scale = args.scale if args.scale is not None else 0.1
+        report = run_harness(
+            trials_per_point=trials,
+            sweep_scale=sweep_scale,
+            timing_scale=timing_scale,
+            sweep_kernels=["matrix", "puwmod"],
+            max_workers=args.workers,
+            repeats=repeats,
+        )
+    else:
+        report = run_harness(
+            trials_per_point=args.trials if args.trials is not None else 2000,
+            sweep_scale=args.scale if args.scale is not None else 0.4,
+            timing_scale=args.scale if args.scale is not None else 0.4,
+            max_workers=args.workers,
+            repeats=args.repeats if args.repeats is not None else 3,
+        )
+
+    report.write_json(args.out)
+    print(render_report(report))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Run the fast-path perf harness and write BENCH_1.json at the repo root.
+# Extra arguments are forwarded to bench_perf.py (e.g. --quick, --workers 4).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python benchmarks/bench_perf.py "$@"

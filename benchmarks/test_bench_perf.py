@@ -1,0 +1,36 @@
+"""Full perf-harness run with the acceptance thresholds enforced.
+
+Marked ``perf`` so the default test run stays fast; run explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_perf.py -m perf -q
+
+Writes the same ``BENCH_1.json`` at the repository root that
+``benchmarks/run_bench.sh`` produces, so either entry point refreshes
+the tracked perf numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.perf import run_harness
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.perf
+def test_full_harness_meets_acceptance_thresholds():
+    report = run_harness()
+    report.write_json(str(REPO_ROOT / "BENCH_1.json"))
+    by_name = {result.name: result for result in report.results}
+    assert by_name["fault_campaign"].speedup >= 3.0, (
+        f"fault campaign only {by_name['fault_campaign'].speedup:.2f}x"
+    )
+    assert by_name["kernel_policy_sweep"].speedup >= 1.5, (
+        f"kernel x policy sweep only {by_name['kernel_policy_sweep'].speedup:.2f}x"
+    )
+    assert by_name["timing_engine"].speedup >= 1.5, (
+        f"timing engine only {by_name['timing_engine'].speedup:.2f}x"
+    )

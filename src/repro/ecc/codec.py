@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 
 class DecodeStatus(enum.Enum):
@@ -99,6 +99,21 @@ class EccCode:
     def decode(self, codeword: int) -> DecodeResult:
         """Decode ``codeword``, correcting/flagging errors as supported."""
         raise NotImplementedError
+
+    # Batch interface ---------------------------------------------------
+    # The fault campaigns encode/decode tens of thousands of words per
+    # run; these entry points let table-driven codecs amortise their
+    # lookup-structure access across a whole batch.  The base versions
+    # simply loop, so every code gets the API for free.
+    def encode_many(self, words: Iterable[int]) -> List[int]:
+        """Encode a batch of data words (one codeword per input word)."""
+        encode = self.encode
+        return [encode(word) for word in words]
+
+    def decode_many(self, codewords: Iterable[int]) -> List[DecodeResult]:
+        """Decode a batch of codewords (one :class:`DecodeResult` each)."""
+        decode = self.decode
+        return [decode(codeword) for codeword in codewords]
 
     # Convenience helpers shared by all codes ---------------------------
     def _check_data_range(self, data: int) -> None:

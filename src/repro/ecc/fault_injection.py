@@ -49,11 +49,30 @@ class FaultModel:
         default_factory=lambda: {1: 1.0}
     )
 
+    def __post_init__(self) -> None:
+        # The weight table is immutable, so the sum/sort that the seed
+        # implementation redid on every draw is hoisted here.  The
+        # arithmetic (summation order, cumulative walk) is kept identical
+        # so a seeded campaign draws the exact same multiplicities.
+        items = sorted(self.multiplicity_weights.items())
+        object.__setattr__(self, "_weight_items", items)
+        object.__setattr__(
+            self, "_weight_total", sum(self.multiplicity_weights.values())
+        )
+        object.__setattr__(
+            self, "_single_multiplicity", items[0][0] if len(items) == 1 else None
+        )
+
     def sample_multiplicity(self, rng: random.Random) -> int:
-        total = sum(self.multiplicity_weights.values())
-        pick = rng.random() * total
+        pick = rng.random() * self._weight_total
+        single = self._single_multiplicity
+        if single is not None:
+            # One entry: the cumulative walk always stops at it (``pick``
+            # is strictly below the total); the draw above keeps the RNG
+            # stream identical to the general case.
+            return single
         cumulative = 0.0
-        for multiplicity, weight in sorted(self.multiplicity_weights.items()):
+        for multiplicity, weight in self._weight_items:
             cumulative += weight
             if pick <= cumulative:
                 return multiplicity
@@ -102,11 +121,26 @@ class InjectionReport:
 
 
 class FaultInjector:
-    """Runs bit-flip campaigns against an :class:`EccCode`."""
+    """Runs bit-flip campaigns against an :class:`EccCode`.
 
-    def __init__(self, code: EccCode, *, seed: int = 2019) -> None:
+    Randomness is *never* drawn from the global :mod:`random` state: each
+    injector owns (or is handed) an explicit :class:`random.Random`, so
+    campaigns are reproducible under a fixed seed and independent
+    injectors can safely run in parallel worker processes without
+    perturbing each other's trial streams.
+    """
+
+    def __init__(
+        self,
+        code: EccCode,
+        *,
+        seed: int = 2019,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.code = code
-        self.rng = random.Random(seed)
+        #: The private RNG driving trial generation.  Pass ``rng=`` to
+        #: share/sequence generators explicitly; ``seed=`` is then ignored.
+        self.rng = rng if rng is not None else random.Random(seed)
 
     # ------------------------------------------------------------------ #
     def inject_once(
@@ -136,39 +170,126 @@ class FaultInjector:
         32-bit words are used.
         """
         model = fault_model or FaultModel()
-        report = InjectionReport(code_name=self.code.name)
+        rng = self.rng
+        code = self.code
+        data_bits = code.data_bits
+        total_bits = code.total_bits
+        data_mask = (1 << data_bits) - 1
+        position_range = range(total_bits)
+
+        # Phase 1: draw every trial up front.  The RNG call sequence is
+        # exactly the per-trial sequence the reference implementation
+        # used (data word, multiplicity, positions), so a fixed seed
+        # reproduces the seed campaign byte for byte.
+        trial_plan: List[tuple] = []
+        plan_append = trial_plan.append
+        rng_getrandbits = rng.getrandbits
+        rng_sample = rng.sample
+        sample_multiplicity = model.sample_multiplicity
         data_iterator = iter(data_source) if data_source is not None else None
         for _ in range(trials):
             if data_iterator is not None:
                 try:
-                    data = next(data_iterator) & ((1 << self.code.data_bits) - 1)
+                    data = next(data_iterator) & data_mask
                 except StopIteration:
                     data_iterator = None
-                    data = self.rng.getrandbits(self.code.data_bits)
+                    data = rng_getrandbits(data_bits)
             else:
-                data = self.rng.getrandbits(self.code.data_bits)
-            multiplicity = model.sample_multiplicity(self.rng)
-            multiplicity = min(multiplicity, self.code.total_bits)
-            positions = self.rng.sample(range(self.code.total_bits), multiplicity)
-            report.records.append(self.inject_once(data, positions))
+                data = rng_getrandbits(data_bits)
+            multiplicity = sample_multiplicity(rng)
+            if multiplicity > total_bits:
+                multiplicity = total_bits
+            plan_append((data, tuple(rng_sample(position_range, multiplicity))))
+
+        # Phase 2: batch encode/corrupt/decode through the table-driven
+        # fast paths (positions come from ``rng.sample`` over the valid
+        # range, so no per-flip validation is needed).
+        codewords = code.encode_many([data for data, _ in trial_plan])
+        corrupted: List[int] = []
+        for codeword, (_, positions) in zip(codewords, trial_plan):
+            flip_mask = 0
+            for position in positions:
+                flip_mask |= 1 << position
+            corrupted.append(codeword ^ flip_mask)
+        decoded = code.decode_many(corrupted)
+
+        report = InjectionReport(code_name=code.name)
+        records_append = report.records.append
+        # Outcome classification inlined from _classify: MISCORRECTED is
+        # never emitted by a decoder, so anything that is neither CLEAN
+        # nor CORRECTED is a detected-uncorrectable.
+        clean = DecodeStatus.CLEAN
+        corrected = DecodeStatus.CORRECTED
+        masked = InjectionOutcome.MASKED
+        outcome_corrected = InjectionOutcome.CORRECTED
+        detected = InjectionOutcome.DETECTED
+        sdc = InjectionOutcome.SILENT_DATA_CORRUPTION
+        for (data, positions), result in zip(trial_plan, decoded):
+            status = result.status
+            if status is clean:
+                outcome = masked if result.data == data else sdc
+            elif status is corrected:
+                outcome = outcome_corrected if result.data == data else sdc
+            else:
+                outcome = detected
+            records_append(
+                InjectionRecord(
+                    data=data,
+                    flipped_bits=positions,
+                    status=status,
+                    outcome=outcome,
+                )
+            )
         return report
 
     def exhaustive_single_bit(self, data_words: Iterable[int]) -> InjectionReport:
         """Flip every single bit position of every supplied data word."""
         report = InjectionReport(code_name=self.code.name)
+        data_mask = (1 << self.code.data_bits) - 1
+        positions = range(self.code.total_bits)
         for data in data_words:
-            data &= (1 << self.code.data_bits) - 1
-            for position in range(self.code.total_bits):
-                report.records.append(self.inject_once(data, (position,)))
+            data &= data_mask
+            codeword = self.code.encode(data)
+            decoded = self.code.decode_many(
+                [codeword ^ (1 << position) for position in positions]
+            )
+            for position, result in zip(positions, decoded):
+                report.records.append(
+                    InjectionRecord(
+                        data=data,
+                        flipped_bits=(position,),
+                        status=result.status,
+                        outcome=self._classify(
+                            data, (position,), result.data, result.status
+                        ),
+                    )
+                )
         return report
 
     def exhaustive_double_bit(self, data: int) -> InjectionReport:
         """Flip every pair of bit positions of one data word."""
         report = InjectionReport(code_name=self.code.name)
         data &= (1 << self.code.data_bits) - 1
-        for first in range(self.code.total_bits):
-            for second in range(first + 1, self.code.total_bits):
-                report.records.append(self.inject_once(data, (first, second)))
+        codeword = self.code.encode(data)
+        pairs = [
+            (first, second)
+            for first in range(self.code.total_bits)
+            for second in range(first + 1, self.code.total_bits)
+        ]
+        decoded = self.code.decode_many(
+            [codeword ^ (1 << first) ^ (1 << second) for first, second in pairs]
+        )
+        for (first, second), result in zip(pairs, decoded):
+            report.records.append(
+                InjectionRecord(
+                    data=data,
+                    flipped_bits=(first, second),
+                    status=result.status,
+                    outcome=self._classify(
+                        data, (first, second), result.data, result.status
+                    ),
+                )
+            )
         return report
 
     # ------------------------------------------------------------------ #

@@ -10,11 +10,29 @@ Layout: the classic 1-indexed Hamming arrangement where check bits sit at
 power-of-two positions (1, 2, 4, ...) and data bits fill the remaining
 positions.  The public ``encode``/``decode`` interface still exchanges
 plain ``data_bits``-wide integers; the positional shuffling is internal.
+
+This is the fast-path implementation.  Instead of spreading the word into
+a positional bit array and walking it once per check bit, the
+constructor flattens the construction into lookup structures over the
+*public* codeword layout:
+
+* ``_check_masks[k]`` — mask of public codeword bits covered by check
+  ``k`` (its own stored check bit included), so each syndrome bit is one
+  ``(codeword & mask).bit_count() & 1``;
+* ``_data_masks[k]`` — the data-word part of the same coverage, used by
+  ``encode``;
+* ``_syndrome_flip[s]`` — for every in-range positional syndrome ``s``,
+  the data-word XOR mask that undoes the indicated single-bit error
+  (zero when ``s`` names a check-bit position).
+
+The original loop implementation lives on as
+:class:`repro.ecc.reference.ReferenceHammingSecCode` and the equivalence
+tests hold the two bit-identical over clean words and all flips.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List
 
 from repro.ecc.codec import DecodeResult, DecodeStatus, EccCode, register_code
 
@@ -35,104 +53,113 @@ class HammingSecCode(EccCode):
     def __init__(self, data_bits: int = 32) -> None:
         self.data_bits = data_bits
         self.check_bits = _required_check_bits(data_bits)
-        # Precompute the 1-indexed codeword positions of the data bits
-        # (every position that is not a power of two).
+        # 1-indexed codeword positions of the data bits (every position
+        # that is not a power of two).
         self._data_positions: List[int] = []
         position = 1
         while len(self._data_positions) < data_bits:
             if position & (position - 1):  # not a power of two
                 self._data_positions.append(position)
             position += 1
-        self._codeword_length = position - 1 if not (position - 1) & (position - 2) \
-            else self._data_positions[-1]
-        # The true codeword length is the largest used position.
         largest_check = 1 << (self.check_bits - 1)
         self._codeword_length = max(self._data_positions[-1], largest_check)
 
-    # ------------------------------------------------------------------ #
-    def _spread(self, data: int) -> List[int]:
-        """Place data bits into their codeword positions (1-indexed array)."""
-        bits = [0] * (self._codeword_length + 1)
-        for index, position in enumerate(self._data_positions):
-            bits[position] = (data >> index) & 1
-        return bits
-
-    def _compute_checks(self, bits: List[int]) -> None:
+        # Coverage masks in the public layout (data word low, check bits
+        # above).  Data bit *index* sits at positional address
+        # ``_data_positions[index]``; check bit k at position ``1 << k``.
+        self._data_masks: List[int] = []
+        self._check_masks: List[int] = []
         for check_index in range(self.check_bits):
             parity_position = 1 << check_index
-            parity = 0
-            for position in range(1, self._codeword_length + 1):
-                if position & parity_position and position != parity_position:
-                    parity ^= bits[position]
-            bits[parity_position] = parity
+            data_mask = 0
+            for index, pos in enumerate(self._data_positions):
+                if pos & parity_position:
+                    data_mask |= 1 << index
+            self._data_masks.append(data_mask)
+            self._check_masks.append(data_mask | (1 << (data_bits + check_index)))
 
-    def _collect(self, bits: List[int]) -> int:
-        """Pack the positional bit array into the public codeword layout.
-
-        Public layout: data word in bits [0, data_bits), check bits above.
-        """
-        data = 0
-        for index, position in enumerate(self._data_positions):
-            data |= bits[position] << index
-        check = 0
-        for check_index in range(self.check_bits):
-            check |= bits[1 << check_index] << check_index
-        return data | (check << self.data_bits)
-
-    def _unpack(self, codeword: int) -> List[int]:
-        data = codeword & ((1 << self.data_bits) - 1)
-        check = codeword >> self.data_bits
-        bits = [0] * (self._codeword_length + 1)
-        for index, position in enumerate(self._data_positions):
-            bits[position] = (data >> index) & 1
-        for check_index in range(self.check_bits):
-            bits[1 << check_index] = (check >> check_index) & 1
-        return bits
+        # Positional syndrome -> data-word correction mask (0 for check
+        # positions: flipping a stored check bit never changes the data).
+        self._syndrome_flip: List[int] = [0] * (self._codeword_length + 1)
+        for index, pos in enumerate(self._data_positions):
+            self._syndrome_flip[pos] = 1 << index
 
     # ------------------------------------------------------------------ #
     def encode(self, data: int) -> int:
         self._check_data_range(data)
-        bits = self._spread(data)
-        self._compute_checks(bits)
-        return self._collect(bits)
+        check = 0
+        for check_index, mask in enumerate(self._data_masks):
+            check |= ((data & mask).bit_count() & 1) << check_index
+        return data | (check << self.data_bits)
 
     def decode(self, codeword: int) -> DecodeResult:
         self._check_codeword_range(codeword)
-        bits = self._unpack(codeword)
         syndrome = 0
-        for check_index in range(self.check_bits):
-            parity_position = 1 << check_index
-            parity = 0
-            for position in range(1, self._codeword_length + 1):
-                if position & parity_position:
-                    parity ^= bits[position]
-            if parity:
-                syndrome |= parity_position
+        for check_index, mask in enumerate(self._check_masks):
+            syndrome |= ((codeword & mask).bit_count() & 1) << check_index
+        data = codeword & ((1 << self.data_bits) - 1)
         if syndrome == 0:
-            data = self._extract_data(bits)
             return DecodeResult(data=data, status=DecodeStatus.CLEAN, syndrome=0)
-        corrected_bit: Optional[int] = None
         if syndrome <= self._codeword_length:
-            bits[syndrome] ^= 1
-            corrected_bit = syndrome
-            data = self._extract_data(bits)
             return DecodeResult(
-                data=data,
+                data=data ^ self._syndrome_flip[syndrome],
                 status=DecodeStatus.CORRECTED,
                 syndrome=syndrome,
-                corrected_bit=corrected_bit,
+                corrected_bit=syndrome,
             )
         # Syndrome points outside the codeword: detectable but uncorrectable.
-        data = self._extract_data(bits)
         return DecodeResult(
             data=data, status=DecodeStatus.DETECTED_UNCORRECTABLE, syndrome=syndrome
         )
 
-    def _extract_data(self, bits: List[int]) -> int:
-        data = 0
-        for index, position in enumerate(self._data_positions):
-            data |= bits[position] << index
-        return data
+    # Batch fast paths --------------------------------------------------
+    def encode_many(self, words: Iterable[int]) -> List[int]:
+        data_bits = self.data_bits
+        masks = tuple(enumerate(self._data_masks))
+        out: List[int] = []
+        append = out.append
+        for data in words:
+            if data < 0 or data >> data_bits:
+                self._check_data_range(data)
+            check = 0
+            for check_index, mask in masks:
+                check |= ((data & mask).bit_count() & 1) << check_index
+            append(data | (check << data_bits))
+        return out
+
+    def decode_many(self, codewords: Iterable[int]) -> List[DecodeResult]:
+        data_bits = self.data_bits
+        total_bits = self.total_bits
+        data_mask = (1 << data_bits) - 1
+        masks = tuple(enumerate(self._check_masks))
+        length = self._codeword_length
+        flips = self._syndrome_flip
+        clean = DecodeStatus.CLEAN
+        corrected = DecodeStatus.CORRECTED
+        detected = DecodeStatus.DETECTED_UNCORRECTABLE
+        out: List[DecodeResult] = []
+        append = out.append
+        for codeword in codewords:
+            if codeword < 0 or codeword >> total_bits:
+                self._check_codeword_range(codeword)
+            syndrome = 0
+            for check_index, mask in masks:
+                syndrome |= ((codeword & mask).bit_count() & 1) << check_index
+            data = codeword & data_mask
+            if syndrome == 0:
+                append(DecodeResult(data=data, status=clean, syndrome=0))
+            elif syndrome <= length:
+                append(
+                    DecodeResult(
+                        data=data ^ flips[syndrome],
+                        status=corrected,
+                        syndrome=syndrome,
+                        corrected_bit=syndrome,
+                    )
+                )
+            else:
+                append(DecodeResult(data=data, status=detected, syndrome=syndrome))
+        return out
 
 
 register_code("hamming", HammingSecCode)

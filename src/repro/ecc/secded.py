@@ -16,58 +16,32 @@ syndrome, which cleanly separates "correct" from "detect, do not touch".
 
 Codeword layout (public interface): data word in bits ``[0, 32)``, check
 bits in ``[32, 39)``.
+
+This is the fast-path implementation.  The H matrix (built by the shared
+:func:`repro.ecc.reference.build_hsiao_columns` construction, so it is
+identical to the reference codec's) is flattened into two lookup
+structures:
+
+* per-byte XOR tables — ``check = T0[b0] ^ T1[b1] ^ ...`` replaces the
+  walk over every set data bit;
+* a dense syndrome table of size ``2**check_bits`` mapping each
+  odd-weight syndrome directly to the erroneous public-layout bit
+  position (or -1 for "no matching column": a detected triple error).
+
+The original bit-loop implementation lives on as
+:class:`repro.ecc.reference.ReferenceHsiaoSecDedCode` and the
+equivalence tests hold the two bit-identical.
 """
 
 from __future__ import annotations
 
-from itertools import combinations
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.ecc.codec import DecodeResult, DecodeStatus, EccCode, register_code
+from repro.ecc.reference import build_hsiao_columns
 
-
-def _popcount(value: int) -> int:
-    return bin(value).count("1")
-
-
-def _build_hsiao_columns(data_bits: int, check_bits: int) -> List[int]:
-    """Choose ``data_bits`` odd-weight columns of ``check_bits`` bits.
-
-    Columns are drawn first from weight-3 vectors (balanced across check
-    bits), then weight-5, and so on, following Hsiao's minimum-odd-weight
-    construction.  The selection is deterministic so encodings are stable
-    across runs and machines.
-    """
-    columns: List[int] = []
-    usage = [0] * check_bits  # how many selected columns cover each check bit
-    weight = 3
-    while len(columns) < data_bits:
-        if weight > check_bits:
-            raise ValueError(
-                f"cannot build Hsiao code: {data_bits} data bits, "
-                f"{check_bits} check bits"
-            )
-        candidates = [
-            sum(1 << bit for bit in combo)
-            for combo in combinations(range(check_bits), weight)
-        ]
-        # Greedy balanced pick: repeatedly take the candidate whose check
-        # bits are currently least used.
-        remaining = list(candidates)
-        while remaining and len(columns) < data_bits:
-            remaining.sort(
-                key=lambda col: (
-                    sum(usage[b] for b in range(check_bits) if col >> b & 1),
-                    col,
-                )
-            )
-            chosen = remaining.pop(0)
-            columns.append(chosen)
-            for bit in range(check_bits):
-                if chosen >> bit & 1:
-                    usage[bit] += 1
-        weight += 2
-    return columns
+#: Re-exported for backwards compatibility with the seed module layout.
+_build_hsiao_columns = build_hsiao_columns
 
 
 class HsiaoSecDedCode(EccCode):
@@ -84,13 +58,37 @@ class HsiaoSecDedCode(EccCode):
             while (1 << (check_bits - 1)) < data_bits + check_bits + 1:
                 check_bits += 1
         self.check_bits = check_bits
-        self._data_columns: List[int] = _build_hsiao_columns(data_bits, check_bits)
-        # Map syndrome -> erroneous bit position in the public layout.
+        self._data_columns: List[int] = build_hsiao_columns(data_bits, check_bits)
+        # Map syndrome -> erroneous bit position in the public layout
+        # (kept as a dict for introspection; the dense list below is the
+        # decode fast path).
         self._syndrome_to_position: Dict[int, int] = {}
         for position, column in enumerate(self._data_columns):
             self._syndrome_to_position[column] = position
         for check_index in range(check_bits):
             self._syndrome_to_position[1 << check_index] = data_bits + check_index
+
+        # Per-byte XOR tables: table i maps a byte value to the XOR of the
+        # H columns of data bits [8i, 8i+8).
+        self._byte_tables: List[List[int]] = []
+        for base in range(0, data_bits, 8):
+            table = [0] * 256
+            width = min(8, data_bits - base)
+            for byte in range(256):
+                acc = 0
+                bits = byte & ((1 << width) - 1)
+                while bits:
+                    low = bits & -bits
+                    acc ^= self._data_columns[base + low.bit_length() - 1]
+                    bits ^= low
+                table[byte] = acc
+            self._byte_tables.append(table)
+
+        # Dense syndrome -> position table (only odd-weight syndromes are
+        # ever looked up; -1 marks "no matching column").
+        self._syndrome_table: List[int] = [-1] * (1 << check_bits)
+        for syndrome, position in self._syndrome_to_position.items():
+            self._syndrome_table[syndrome] = position
 
     # ------------------------------------------------------------------ #
     @property
@@ -100,13 +98,9 @@ class HsiaoSecDedCode(EccCode):
 
     def _compute_check(self, data: int) -> int:
         check = 0
-        remaining = data
-        position = 0
-        while remaining:
-            if remaining & 1:
-                check ^= self._data_columns[position]
-            remaining >>= 1
-            position += 1
+        for table in self._byte_tables:
+            check ^= table[data & 0xFF]
+            data >>= 8
         return check
 
     def encode(self, data: int) -> int:
@@ -120,9 +114,9 @@ class HsiaoSecDedCode(EccCode):
         syndrome = self._compute_check(data) ^ stored_check
         if syndrome == 0:
             return DecodeResult(data=data, status=DecodeStatus.CLEAN, syndrome=0)
-        if _popcount(syndrome) % 2 == 1:
-            position = self._syndrome_to_position.get(syndrome)
-            if position is None:
+        if syndrome.bit_count() & 1:
+            position = self._syndrome_table[syndrome]
+            if position < 0:
                 # Odd-weight syndrome not matching any column: at least a
                 # triple error; report it as uncorrectable.
                 return DecodeResult(
@@ -144,6 +138,67 @@ class HsiaoSecDedCode(EccCode):
             status=DecodeStatus.DETECTED_UNCORRECTABLE,
             syndrome=syndrome,
         )
+
+    # Batch fast paths --------------------------------------------------
+    def encode_many(self, words: Iterable[int]) -> List[int]:
+        data_bits = self.data_bits
+        tables = self._byte_tables
+        out: List[int] = []
+        append = out.append
+        for data in words:
+            if data < 0 or data >> data_bits:
+                self._check_data_range(data)
+            check = 0
+            shifted = data
+            for table in tables:
+                check ^= table[shifted & 0xFF]
+                shifted >>= 8
+            append(data | (check << data_bits))
+        return out
+
+    def decode_many(self, codewords: Iterable[int]) -> List[DecodeResult]:
+        data_bits = self.data_bits
+        total_bits = self.total_bits
+        data_mask = (1 << data_bits) - 1
+        tables = self._byte_tables
+        syndrome_table = self._syndrome_table
+        clean = DecodeStatus.CLEAN
+        corrected = DecodeStatus.CORRECTED
+        detected = DecodeStatus.DETECTED_UNCORRECTABLE
+        out: List[DecodeResult] = []
+        append = out.append
+        for codeword in codewords:
+            if codeword < 0 or codeword >> total_bits:
+                self._check_codeword_range(codeword)
+            data = codeword & data_mask
+            check = codeword >> data_bits
+            shifted = data
+            for table in tables:
+                check ^= table[shifted & 0xFF]
+                shifted >>= 8
+            syndrome = check
+            if syndrome == 0:
+                append(DecodeResult(data=data, status=clean, syndrome=0))
+            elif syndrome.bit_count() & 1:
+                position = syndrome_table[syndrome]
+                if position < 0:
+                    append(
+                        DecodeResult(data=data, status=detected, syndrome=syndrome)
+                    )
+                else:
+                    if position < data_bits:
+                        data ^= 1 << position
+                    append(
+                        DecodeResult(
+                            data=data,
+                            status=corrected,
+                            syndrome=syndrome,
+                            corrected_bit=position,
+                        )
+                    )
+            else:
+                append(DecodeResult(data=data, status=detected, syndrome=syndrome))
+        return out
 
 
 register_code("secded", HsiaoSecDedCode)

@@ -17,6 +17,7 @@ reliability model for a given raw bit-upset probability.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -51,11 +52,18 @@ def run(
     seed: int = 2019,
     data_words: Optional[List[int]] = None,
 ) -> List[CampaignRow]:
-    """Inject single- and double-bit faults into each code."""
+    """Inject single- and double-bit faults into each code.
+
+    Each code gets its own explicitly seeded :class:`random.Random`
+    (``random.Random(seed)``, matching the seed implementation trial for
+    trial), so the campaign never touches global RNG state and the
+    per-code points can be farmed out to parallel workers without
+    changing any reported percentage.
+    """
     rows: List[CampaignRow] = []
     codes = [ParityCode(), HammingSecCode(), HsiaoSecDedCode()]
     for code in codes:
-        injector = FaultInjector(code, seed=seed)
+        injector = FaultInjector(code, rng=random.Random(seed))
         for flips in (1, 2):
             report = injector.run_campaign(
                 trials=trials_per_point,

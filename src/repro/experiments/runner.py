@@ -5,15 +5,30 @@ simulated under every Figure 8 policy.  :class:`ExperimentRunner` builds
 that result set once (re-using one functional trace per kernel, since the
 policies do not change architectural behaviour) and hands it to the
 individual experiments.
+
+Two fast paths keep repeated campaigns cheap (see PERFORMANCE.md):
+
+* a module-level **functional-trace cache** keyed by ``(kernel, scale)``.
+  Traces are policy-independent — the architectural stream is identical
+  under every ECC scheme by construction — so the semantics of each
+  kernel are simulated exactly once per process no matter how many
+  runners, experiments or policies replay it;
+* an opt-in **process-pool fan-out** (``max_workers=``) that distributes
+  whole kernels (one functional simulation + all policy timing runs)
+  across worker processes.  Results are reassembled in kernel order, so
+  the run set is deterministic regardless of worker scheduling.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.policies import EccPolicyKind
-from repro.functional.simulator import run_program
+from repro.functional.simulator import FunctionalTrace, run_program
+from repro.isa.program import Program
 from repro.simulation import SimulationResult, simulate_program
 from repro.workloads import KERNEL_NAMES, build_kernel
 
@@ -23,6 +38,56 @@ FIGURE8_POLICIES = (
     EccPolicyKind.EXTRA_STAGE,
     EccPolicyKind.LAEC,
 )
+
+#: (kernel name, scale) -> (assembled program, functional trace).  Traces
+#: and programs are treated as immutable once built; everything that
+#: consumes them (the timing engine, Table II accounting, chronograms)
+#: only reads.
+_KERNEL_CACHE: Dict[Tuple[str, float], Tuple[Program, FunctionalTrace]] = {}
+
+
+def cached_kernel_trace(name: str, scale: float) -> Tuple[Program, FunctionalTrace]:
+    """Build (or fetch) the program and functional trace of one kernel.
+
+    The cache key is ``(name, scale)``: the functional behaviour of a
+    kernel depends on nothing else, and in particular not on the ECC
+    policy or pipeline configuration being timed.
+    """
+    key = (name, scale)
+    cached = _KERNEL_CACHE.get(key)
+    if cached is None:
+        program = build_kernel(name, scale=scale)
+        trace = run_program(program)
+        cached = (program, trace)
+        _KERNEL_CACHE[key] = cached
+    return cached
+
+
+def clear_kernel_trace_cache() -> None:
+    """Drop all cached functional traces (used by tests and benchmarks)."""
+    _KERNEL_CACHE.clear()
+
+
+def _simulate_kernel_task(
+    args: Tuple[str, float, Tuple[str, ...]]
+) -> Tuple[str, FunctionalTrace, Dict[str, "SimulationResult"]]:
+    """Worker-side job: one kernel under every policy (module-level so it
+    pickles for :class:`ProcessPoolExecutor`).
+
+    The functional trace is shared by every policy's result, so it is
+    detached before pickling and shipped exactly once — otherwise each
+    of the N per-policy results would serialise its own copy of the
+    (large) dynamic instruction stream.  The parent re-attaches it.
+    """
+    name, scale, policy_values = args
+    program, trace = cached_kernel_trace(name, scale)
+    per_policy = {
+        value: simulate_program(program, policy=value, trace=trace)
+        for value in policy_values
+    }
+    for result in per_policy.values():
+        result.trace = None  # re-attached by the parent
+    return name, trace, per_policy
 
 
 @dataclass
@@ -47,7 +112,15 @@ class KernelRunSet:
 
 
 class ExperimentRunner:
-    """Builds and caches the kernel × policy result matrix."""
+    """Builds and caches the kernel × policy result matrix.
+
+    ``max_workers`` opts into the process-pool fan-out: each worker
+    simulates whole kernels (functional trace once, then every policy),
+    and the parent reassembles results in ``kernels`` order so output is
+    deterministic.  ``max_workers=0`` picks :func:`os.cpu_count`.  The
+    default (``None``) stays serial, which is the right call for a single
+    small kernel set or when the caller is already parallel.
+    """
 
     def __init__(
         self,
@@ -55,25 +128,52 @@ class ExperimentRunner:
         scale: float = 1.0,
         kernels: Optional[Iterable[str]] = None,
         policies: Iterable[EccPolicyKind] = FIGURE8_POLICIES,
+        max_workers: Optional[int] = None,
     ) -> None:
         self.scale = scale
         self.kernels = list(kernels) if kernels is not None else list(KERNEL_NAMES)
         self.policies = list(policies)
+        if max_workers == 0:
+            max_workers = os.cpu_count() or 1
+        self.max_workers = max_workers
         self._run_set: Optional[KernelRunSet] = None
 
     def run_all(self, *, force: bool = False) -> KernelRunSet:
         """Simulate every kernel under every policy (cached)."""
         if self._run_set is not None and not force:
             return self._run_set
+        workers = self.max_workers or 1
+        if workers > 1 and len(self.kernels) > 1:
+            run_set = self._run_parallel(min(workers, len(self.kernels)))
+        else:
+            run_set = self._run_serial()
+        self._run_set = run_set
+        return run_set
+
+    # ------------------------------------------------------------------ #
+    def _run_serial(self) -> KernelRunSet:
         run_set = KernelRunSet(scale=self.scale)
         for name in self.kernels:
-            program = build_kernel(name, scale=self.scale)
-            trace = run_program(program)
+            program, trace = cached_kernel_trace(name, self.scale)
             per_policy: Dict[str, SimulationResult] = {}
             for policy in self.policies:
                 per_policy[policy.value] = simulate_program(
                     program, policy=policy, trace=trace
                 )
             run_set.results[name] = per_policy
-        self._run_set = run_set
+        return run_set
+
+    def _run_parallel(self, workers: int) -> KernelRunSet:
+        policy_values = tuple(policy.value for policy in self.policies)
+        tasks = [(name, self.scale, policy_values) for name in self.kernels]
+        run_set = KernelRunSet(scale=self.scale)
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            # ``map`` preserves submission order, so results land in
+            # ``self.kernels`` order no matter which worker finishes first.
+            for name, trace, per_policy in executor.map(_simulate_kernel_task, tasks):
+                for result in per_policy.values():
+                    result.trace = trace
+                run_set.results[name] = {
+                    value: per_policy[value] for value in policy_values
+                }
         return run_set

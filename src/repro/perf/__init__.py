@@ -1,0 +1,37 @@
+"""Performance harness for the fast-path engine.
+
+This package measures the three hot paths the experiment suite funnels
+through — the table-driven ECC codecs, the optimized timing-pipeline
+scheduling loop, and the cached/parallel kernel × policy sweep — against
+the seed implementations that are kept alive as references
+(:mod:`repro.ecc.reference` and
+:mod:`repro.pipeline.reference_timing`).  Each benchmark times baseline
+and optimized variants of the *same* workload, checks they agree on the
+reported numbers, and records the speedup.
+
+Run it via ``benchmarks/run_bench.sh`` (or
+``PYTHONPATH=src python benchmarks/bench_perf.py``), which writes the
+results to ``BENCH_<n>.json`` at the repository root so the perf
+trajectory is tracked across PRs.  The fast-path architecture, the
+functional-trace cache and the meaning of every field in the JSON are
+documented in `PERFORMANCE.md <../../../PERFORMANCE.md>`_ at the
+repository root.
+"""
+
+from repro.perf.harness import (
+    BenchmarkResult,
+    HarnessReport,
+    bench_fault_campaign,
+    bench_sweep,
+    bench_timing_engine,
+    run_harness,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "HarnessReport",
+    "bench_fault_campaign",
+    "bench_sweep",
+    "bench_timing_engine",
+    "run_harness",
+]

@@ -1,0 +1,388 @@
+"""Benchmark definitions for the fast-path performance harness.
+
+Every benchmark here has the same shape:
+
+1. build one workload;
+2. run it through the **baseline** (seed/reference) implementation and
+   the **optimized** (fast-path) implementation, timing both;
+3. assert the two implementations agree on the numbers the experiments
+   would report (the speedups are only meaningful if nothing changed);
+4. return a :class:`BenchmarkResult` with the timings and metadata.
+
+``run_harness`` bundles the three layers into a :class:`HarnessReport`
+and serialises it to ``BENCH_<n>.json``; see PERFORMANCE.md for how to
+read the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.policies import make_policy
+from repro.ecc import FaultInjector, FaultModel, InjectionOutcome
+from repro.ecc.codec import get_code
+from repro.ecc.reference import REFERENCE_CODES
+from repro.experiments.runner import (
+    FIGURE8_POLICIES,
+    ExperimentRunner,
+    cached_kernel_trace,
+    clear_kernel_trace_cache,
+)
+from repro.functional.simulator import run_program
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.reference_timing import ReferenceTimingPipeline
+from repro.pipeline.timing import TimingPipeline
+from repro.simulation import build_hierarchy
+from repro.workloads import KERNEL_NAMES, build_kernel
+
+#: JSON schema identifier written into every report.
+SCHEMA = "repro-perf-bench/1"
+
+
+@dataclass
+class BenchmarkResult:
+    """Baseline-versus-optimized timing of one layer."""
+
+    name: str
+    description: str
+    baseline_seconds: float
+    optimized_seconds: float
+    baseline_impl: str
+    optimized_impl: str
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized_seconds <= 0.0:
+            return float("inf")
+        return self.baseline_seconds / self.optimized_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "baseline_impl": self.baseline_impl,
+            "optimized_impl": self.optimized_impl,
+            "baseline_seconds": self.baseline_seconds,
+            "optimized_seconds": self.optimized_seconds,
+            "speedup": self.speedup,
+            "meta": self.meta,
+        }
+
+
+@dataclass
+class HarnessReport:
+    """Everything one harness invocation measured."""
+
+    results: List[BenchmarkResult]
+    config: Dict[str, object]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "created_unix": time.time(),
+            "platform": {
+                "python": sys.version.split()[0],
+                "implementation": platform.python_implementation(),
+                "machine": platform.machine(),
+                "cpu_count": os.cpu_count(),
+            },
+            "config": self.config,
+            "benchmarks": [result.as_dict() for result in self.results],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Wall-clock the callable ``repeats`` times, return the fastest run."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+# --------------------------------------------------------------------- #
+# Layer 1: ECC codecs (fault campaign)                                  #
+# --------------------------------------------------------------------- #
+def _campaign_rates(code, trials: int, seed: int) -> List[Dict[str, float]]:
+    """The fault-campaign kernel: 1- and 2-bit flips against one code.
+
+    ``code`` is a pre-built (stateless) codec instance: a deployed system
+    constructs its codec once per protected array and amortises the
+    lookup tables across every access, so construction stays outside the
+    timed region.
+    """
+    rates = []
+    for flips in (1, 2):
+        injector = FaultInjector(code, rng=random.Random(seed))
+        report = injector.run_campaign(
+            trials=trials,
+            fault_model=FaultModel(multiplicity_weights={flips: 1.0}),
+        )
+        rates.append({outcome.value: report.rate(outcome) for outcome in InjectionOutcome})
+    return rates
+
+
+def bench_fault_campaign(
+    *, trials_per_point: int = 2000, seed: int = 2019, repeats: int = 3
+) -> BenchmarkResult:
+    """Time the full 3-code × 2-multiplicity injection campaign.
+
+    Baseline: the seed bit-loop codecs (:mod:`repro.ecc.reference`).
+    Optimized: the registered table-driven codecs.  Both run the exact
+    same seeded trial stream; the reported outcome rates must match.
+    """
+    code_names = sorted(REFERENCE_CODES)
+    reference_codes = [REFERENCE_CODES[name]() for name in code_names]
+    fast_codes = [get_code(name) for name in code_names]
+
+    def baseline() -> List[List[Dict[str, float]]]:
+        return [
+            _campaign_rates(code, trials_per_point, seed)
+            for code in reference_codes
+        ]
+
+    def optimized() -> List[List[Dict[str, float]]]:
+        return [
+            _campaign_rates(code, trials_per_point, seed) for code in fast_codes
+        ]
+
+    base_rates = baseline()
+    fast_rates = optimized()
+    if base_rates != fast_rates:
+        raise AssertionError(
+            "table-driven codecs changed fault-campaign outcome rates: "
+            f"{base_rates} != {fast_rates}"
+        )
+    baseline_seconds = _best_of(baseline, repeats)
+    optimized_seconds = _best_of(optimized, repeats)
+    return BenchmarkResult(
+        name="fault_campaign",
+        description=(
+            "ECC fault-injection campaign: "
+            f"{len(code_names)} codes x 2 flip multiplicities x "
+            f"{trials_per_point} trials"
+        ),
+        baseline_seconds=baseline_seconds,
+        optimized_seconds=optimized_seconds,
+        baseline_impl="repro.ecc.reference (per-bit loops)",
+        optimized_impl="repro.ecc (table-driven + batch encode/decode)",
+        meta={
+            "codes": code_names,
+            "trials_per_point": trials_per_point,
+            "seed": seed,
+            "repeats": repeats,
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# Layer 2: timing-pipeline scheduling loop                              #
+# --------------------------------------------------------------------- #
+def bench_timing_engine(
+    *,
+    kernel: str = "matrix",
+    scale: float = 0.4,
+    policy: str = "laec",
+    repeats: int = 3,
+) -> BenchmarkResult:
+    """Time one kernel's trace replay through both scheduling engines.
+
+    Hierarchy state feeds the schedule, so each timed run gets a fresh
+    private :class:`~repro.memory.hierarchy.MemoryHierarchy`; the
+    functional trace is shared (it is policy- and engine-independent).
+    """
+    program = build_kernel(kernel, scale=scale)
+    trace = run_program(program)
+    resolved = make_policy(policy)
+    core_config = CoreConfig().with_policy(resolved)
+
+    def baseline():
+        hierarchy = build_hierarchy(core_config)
+        return ReferenceTimingPipeline(resolved, hierarchy, core_config.pipeline).run(trace)
+
+    def optimized():
+        hierarchy = build_hierarchy(core_config)
+        return TimingPipeline(resolved, hierarchy, core_config.pipeline).run(trace)
+
+    base_result = baseline()
+    fast_result = optimized()
+    if base_result.stats.as_dict() != fast_result.stats.as_dict():
+        raise AssertionError(
+            "optimized timing engine diverged from the reference engine on "
+            f"{kernel}/{policy}"
+        )
+    baseline_seconds = _best_of(baseline, repeats)
+    optimized_seconds = _best_of(optimized, repeats)
+    return BenchmarkResult(
+        name="timing_engine",
+        description=(
+            f"cycle-accurate replay of {kernel} (scale {scale}, "
+            f"{len(trace)} dynamic instructions) under {policy}"
+        ),
+        baseline_seconds=baseline_seconds,
+        optimized_seconds=optimized_seconds,
+        baseline_impl="repro.pipeline.reference_timing (seed dict-based loop)",
+        optimized_impl="repro.pipeline.timing (fast-path loop)",
+        meta={
+            "kernel": kernel,
+            "scale": scale,
+            "policy": policy,
+            "dynamic_instructions": len(trace),
+            "cycles": fast_result.cycles,
+            "repeats": repeats,
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# Layer 3: full kernel x policy sweep                                   #
+# --------------------------------------------------------------------- #
+def _seed_sweep(kernels: List[str], scale: float) -> Dict[str, Dict[str, int]]:
+    """Replicate the seed ``ExperimentRunner.run_all``: fresh functional
+    trace per kernel (no cache), reference scheduling engine."""
+    cycles: Dict[str, Dict[str, int]] = {}
+    for name in kernels:
+        program = build_kernel(name, scale=scale)
+        trace = run_program(program)
+        per_policy: Dict[str, int] = {}
+        for policy_kind in FIGURE8_POLICIES:
+            resolved = make_policy(policy_kind)
+            core_config = CoreConfig().with_policy(resolved)
+            hierarchy = build_hierarchy(core_config)
+            pipeline = ReferenceTimingPipeline(resolved, hierarchy, core_config.pipeline)
+            per_policy[policy_kind.value] = pipeline.run(trace).cycles
+        cycles[name] = per_policy
+    return cycles
+
+
+def bench_sweep(
+    *,
+    scale: float = 0.4,
+    kernels: Optional[List[str]] = None,
+    max_workers: Optional[int] = None,
+    repeats: int = 1,
+) -> BenchmarkResult:
+    """Time the full kernel × Figure 8 policy sweep, seed versus fast path.
+
+    Baseline: the seed runner shape — one functional simulation plus four
+    reference-engine timing runs per kernel, every time.  Optimized: the
+    current :class:`~repro.experiments.runner.ExperimentRunner` (fast
+    engine; trace cache cleared first so the comparison covers a cold
+    sweep; optional process fan-out via ``max_workers``).
+    """
+    kernel_list = list(kernels) if kernels is not None else list(KERNEL_NAMES)
+
+    def baseline():
+        return _seed_sweep(kernel_list, scale)
+
+    def optimized():
+        clear_kernel_trace_cache()
+        runner = ExperimentRunner(
+            scale=scale, kernels=kernel_list, max_workers=max_workers
+        )
+        run_set = runner.run_all(force=True)
+        return {
+            name: {policy: result.cycles for policy, result in per_policy.items()}
+            for name, per_policy in run_set.results.items()
+        }
+
+    base_cycles = baseline()
+    fast_cycles = optimized()
+    if base_cycles != fast_cycles:
+        raise AssertionError(
+            "fast-path sweep changed reported cycle counts: "
+            f"{base_cycles} != {fast_cycles}"
+        )
+    baseline_seconds = _best_of(baseline, repeats)
+    optimized_seconds = _best_of(optimized, repeats)
+    return BenchmarkResult(
+        name="kernel_policy_sweep",
+        description=(
+            f"{len(kernel_list)} kernels x {len(FIGURE8_POLICIES)} Figure 8 "
+            f"policies at scale {scale}"
+        ),
+        baseline_seconds=baseline_seconds,
+        optimized_seconds=optimized_seconds,
+        baseline_impl="seed runner (reference engine, no trace cache)",
+        optimized_impl=(
+            "ExperimentRunner (fast engine, trace cache"
+            + (f", {max_workers} workers" if max_workers else ", serial")
+            + ")"
+        ),
+        meta={
+            "kernels": kernel_list,
+            "scale": scale,
+            "max_workers": max_workers,
+            "repeats": repeats,
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# Harness entry point                                                   #
+# --------------------------------------------------------------------- #
+def run_harness(
+    *,
+    trials_per_point: int = 2000,
+    sweep_scale: float = 0.4,
+    timing_kernel: str = "matrix",
+    timing_scale: float = 0.4,
+    sweep_kernels: Optional[List[str]] = None,
+    max_workers: Optional[int] = None,
+    repeats: int = 3,
+    sweep_repeats: int = 1,
+) -> HarnessReport:
+    """Run all three layer benchmarks and bundle them into one report."""
+    config = {
+        "trials_per_point": trials_per_point,
+        "sweep_scale": sweep_scale,
+        "timing_kernel": timing_kernel,
+        "timing_scale": timing_scale,
+        "sweep_kernels": sweep_kernels,
+        "max_workers": max_workers,
+        "repeats": repeats,
+        "sweep_repeats": sweep_repeats,
+    }
+    results = [
+        bench_fault_campaign(trials_per_point=trials_per_point, repeats=repeats),
+        bench_timing_engine(
+            kernel=timing_kernel, scale=timing_scale, repeats=repeats
+        ),
+        bench_sweep(
+            scale=sweep_scale,
+            kernels=sweep_kernels,
+            max_workers=max_workers,
+            repeats=sweep_repeats,
+        ),
+    ]
+    return HarnessReport(results=results, config=config)
+
+
+def render_report(report: HarnessReport) -> str:
+    """Human-readable table of one harness run."""
+    lines = ["layer benchmarks (baseline = seed implementation):", ""]
+    header = f"{'benchmark':<22} {'baseline':>10} {'optimized':>10} {'speedup':>9}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for result in report.results:
+        lines.append(
+            f"{result.name:<22} {result.baseline_seconds:>9.3f}s "
+            f"{result.optimized_seconds:>9.3f}s {result.speedup:>8.2f}x"
+        )
+    return "\n".join(lines)

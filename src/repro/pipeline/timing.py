@@ -21,6 +21,32 @@ Because the core is in order and single issue, this scheduling formulation
 is cycle-equivalent to stepping stage registers one cycle at a time, but
 it is far easier to instrument (every stall has an identifiable cause)
 and to validate against the paper's chronograms.
+
+This is the *fast-path* engine (see PERFORMANCE.md).  Every experiment
+funnels through :meth:`TimingPipeline.run`, so the scheduling loop is
+written for CPython throughput:
+
+* register ready/producer state lives in three fixed-size lists indexed
+  by architectural register number instead of a dict of status objects;
+* per-stage end cycles are plain local integers instead of a
+  ``Dict[Stage, int]``;
+* the register def/use sets, instruction class and condition-code flags
+  of each *static* instruction are computed once per run and memoised
+  (the seed engine re-derived them — including a sort — per *dynamic*
+  instruction);
+* statistics accumulate in local counters and are written back once;
+* chronogram entries (and their rendered labels) are only materialised
+  inside the configured recording window.
+
+The original loop is preserved verbatim as
+:class:`repro.pipeline.reference_timing.ReferenceTimingPipeline`; the
+regression suite proves both engines produce identical cycle counts,
+stall breakdowns and chronograms on every kernel under every policy.
+
+Unlike the seed engine, :meth:`TimingPipeline.run` does not mutate the
+shared :class:`~repro.memory.hierarchy.MemoryHierarchy`: the configured
+write-buffer capacity is passed explicitly into every push instead of
+being stored on the buffer object.
 """
 
 from __future__ import annotations
@@ -28,16 +54,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.core.lookahead import LookaheadUnit
-from repro.core.policies import DataReadyStage, EccPolicy
-from repro.functional.simulator import DynInstruction, FunctionalTrace
+from repro.core.lookahead import LookaheadDecision, LookaheadUnit
+from repro.core.policies import EccPolicy
+from repro.functional.simulator import FunctionalTrace
 from repro.isa.instructions import InstructionClass
+from repro.isa.registers import REGISTER_COUNT
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.chronogram import Chronogram, ChronogramEntry
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.stages import Stage
 from repro.pipeline.statistics import PipelineStatistics
-from repro.core.hazards import consumer_distance
 
 
 @dataclass
@@ -72,11 +98,22 @@ class PipelineResult:
 
 @dataclass
 class _RegisterStatus:
-    """Book-keeping for bypass/ready-time tracking of one register."""
+    """Book-keeping for bypass/ready-time tracking of one register.
+
+    The fast engine tracks the three fields in parallel lists; this class
+    remains the per-register record used by the reference engine.
+    """
 
     ready: int = 0
     produced_by_load: bool = False
     via_ecc_stage: bool = False
+
+
+# Control-flow kinds precomputed per static instruction (see _instr_info).
+_KIND_OTHER = 0
+_KIND_BRANCH = 1
+_KIND_CALL = 2
+_KIND_JUMP = 3
 
 
 class TimingPipeline:
@@ -94,86 +131,183 @@ class TimingPipeline:
         self.lookahead_unit = LookaheadUnit()
 
     # ------------------------------------------------------------------ #
+    def _instr_info(self, instr, mul_extra: int, div_extra: int):
+        """Flatten the per-instruction facts the scheduling loop needs.
+
+        Computed once per *static* instruction and memoised by the run
+        loop: ``source_registers()``/``destination_register()`` walk and
+        sort operand lists on every call, which the seed engine paid for
+        every dynamic instance.
+        """
+        klass = instr.klass
+        if klass is InstructionClass.MUL:
+            ex_extra = mul_extra
+        elif klass is InstructionClass.DIV:
+            ex_extra = div_extra
+        else:
+            ex_extra = 0
+        if klass is InstructionClass.BRANCH:
+            kind = _KIND_BRANCH
+        elif klass is InstructionClass.CALL:
+            kind = _KIND_CALL
+        elif klass is InstructionClass.JUMP:
+            kind = _KIND_JUMP
+        else:
+            kind = _KIND_OTHER
+        return (
+            instr.is_load,
+            instr.is_store,
+            instr.source_registers(),
+            instr.destination_register(),
+            instr.address_registers(),
+            instr.reads_condition_codes,
+            instr.sets_condition_codes,
+            ex_extra,
+            kind,
+        )
+
     def run(self, trace: FunctionalTrace) -> PipelineResult:
         """Time the whole ``trace`` and return the collected results."""
         policy = self.policy
         config = self.config
         hierarchy = self.hierarchy
         write_buffer = hierarchy.write_buffer
-        write_buffer.capacity = config.write_buffer_entries
+        wb_capacity = config.write_buffer_entries
 
         stats = PipelineStatistics()
-        stats.lookahead = self.lookahead_unit.stats
+        lookahead_stats = self.lookahead_unit.stats
+        stats.lookahead = lookahead_stats
         chronogram = Chronogram()
 
-        prev_end: Dict[Stage, int] = {stage: 0 for stage in Stage}
-        registers: Dict[int, _RegisterStatus] = {}
+        # Policy constants ---------------------------------------------- #
+        has_ecc_stage = policy.has_ecc_stage
+        supports_lookahead = policy.supports_lookahead
+        load_hit_cycles = policy.load_hit_memory_cycles
+        taken_branch_penalty = config.taken_branch_penalty
+        indirect_branch_penalty = config.indirect_branch_penalty
+
+        # Hoisted bound methods ----------------------------------------- #
+        fetch_cycles = hierarchy.instruction_fetch_cycles
+        load_access = hierarchy.load_access
+        store_access = hierarchy.store_access
+        wb_drain_complete = write_buffer.drain_complete_time
+        wb_push = write_buffer.push
+        wb_record_load_wait = write_buffer.record_load_wait
+        record_lookahead = lookahead_stats.record
+        chron_add = chronogram.add
+
+        # Register scoreboard (index = architectural register number) --- #
+        reg_ready = [0] * REGISTER_COUNT
+        reg_by_load = [False] * REGISTER_COUNT
+        reg_via_ecc = [False] * REGISTER_COUNT
+
+        # Per-stage in-order trackers ----------------------------------- #
+        pe_decode = pe_ra = pe_ex = pe_mem = pe_ecc = pe_xc = pe_wb = 0
         cc_ready = 0
         fetch_free = 0
         redirect_cycle = 1
-        prev_dyn: Optional[DynInstruction] = None
+        prev_is_load = False
+        prev_dest: Optional[int] = None
         prev_lookahead = False
         last_retire = 0
 
+        # Local statistic accumulators ---------------------------------- #
+        n_loads = n_stores = n_branches = n_taken = 0
+        n_load_hits = n_load_misses = 0
+        n_dep_loads = n_dep1 = n_dep2 = 0
+        st_operand = st_load_use = st_ecc_wait = st_mem_struct = 0
+        st_dl1_miss = st_wb_full = st_wb_drain = st_redirect = st_icache = 0
+
         stream = trace.instructions
+        n = len(stream)
         record_window = config.chronogram_window
 
+        # One memoised info tuple per static instruction, materialised as
+        # a stream-aligned list so the dependent-load scan can look ahead
+        # without re-deriving operand sets.
+        info_cache: Dict[int, tuple] = {}
+        instr_info = self._instr_info
+        mul_extra = config.mul_latency - 1
+        div_extra = config.div_latency - 1
+        infos = []
+        infos_append = infos.append
         for dyn in stream:
             instr = dyn.instruction
-            klass = dyn.klass
+            key = id(instr)
+            info = info_cache.get(key)
+            if info is None:
+                info = instr_info(instr, mul_extra, div_extra)
+                info_cache[key] = info
+            infos_append(info)
+
+        for i in range(n):
+            dyn = stream[i]
+            (
+                is_load,
+                is_store,
+                sources,
+                destination,
+                addr_regs,
+                reads_cc,
+                sets_cc,
+                ex_extra,
+                kind,
+            ) = infos[i]
 
             # ---------------------------------------------------------- #
             # Fetch                                                      #
             # ---------------------------------------------------------- #
             sequential_start = fetch_free + 1
-            f_start = max(sequential_start, redirect_cycle)
-            if f_start > sequential_start:
-                stats.stalls.branch_redirect += f_start - sequential_start
-            icache_extra = hierarchy.instruction_fetch_cycles(dyn.pc)
+            if redirect_cycle > sequential_start:
+                f_start = redirect_cycle
+                st_redirect += redirect_cycle - sequential_start
+            else:
+                f_start = sequential_start
+            icache_extra = fetch_cycles(dyn.pc)
             if icache_extra:
-                stats.stalls.icache_miss += icache_extra
-            f_end = f_start + icache_extra
+                st_icache += icache_extra
+                f_end = f_start + icache_extra
+            else:
+                f_end = f_start
             fetch_free = f_end
 
             # ---------------------------------------------------------- #
             # Decode / Register access                                   #
             # ---------------------------------------------------------- #
-            d_start = max(f_end + 1, prev_end[Stage.DECODE] + 1)
-            d_end = d_start
-            ra_start = max(d_end + 1, prev_end[Stage.REGISTER_ACCESS] + 1)
-            ra_end = ra_start
+            d_end = f_end + 1 if f_end >= pe_decode else pe_decode + 1
+            pe_decode = d_end
+            ra_end = d_end + 1 if d_end >= pe_ra else pe_ra + 1
+            pe_ra = ra_end
 
             # ---------------------------------------------------------- #
             # Execute (operand wait happens here, matching the figures)  #
             # ---------------------------------------------------------- #
-            ex_start = max(ra_end + 1, prev_end[Stage.EXECUTE] + 1)
+            ex_start = ra_end + 1 if ra_end >= pe_ex else pe_ex + 1
             source_ready = 0
-            limiting_register: Optional[_RegisterStatus] = None
-            for reg in dyn.source_registers:
-                status = registers.get(reg)
-                if status is not None and status.ready > source_ready:
-                    source_ready = status.ready
-                    limiting_register = status
-            if instr.reads_condition_codes and cc_ready > source_ready:
+            limiting = -1
+            for reg in sources:
+                ready = reg_ready[reg]
+                if ready > source_ready:
+                    source_ready = ready
+                    limiting = reg
+            if reads_cc and cc_ready > source_ready:
                 source_ready = cc_ready
-                limiting_register = None
-            exec_cycle = max(ex_start, source_ready + 1)
-            wait = exec_cycle - ex_start
-            if wait > 0:
-                if limiting_register is not None and limiting_register.produced_by_load:
-                    if limiting_register.via_ecc_stage:
-                        stats.stalls.ecc_wait += 1
-                        stats.stalls.load_use_wait += wait - 1
+                limiting = -1
+            if source_ready >= ex_start:
+                exec_cycle = source_ready + 1
+                wait = exec_cycle - ex_start
+                if limiting >= 0 and reg_by_load[limiting]:
+                    if reg_via_ecc[limiting]:
+                        st_ecc_wait += 1
+                        st_load_use += wait - 1
                     else:
-                        stats.stalls.load_use_wait += wait
+                        st_load_use += wait
                 else:
-                    stats.stalls.operand_wait += wait
-            ex_extra = 0
-            if klass is InstructionClass.MUL:
-                ex_extra = config.mul_latency - 1
-            elif klass is InstructionClass.DIV:
-                ex_extra = config.div_latency - 1
+                    st_operand += wait
+            else:
+                exec_cycle = ex_start
             ex_end = exec_cycle + ex_extra
+            pe_ex = ex_end
 
             # ---------------------------------------------------------- #
             # LAEC look-ahead evaluation                                 #
@@ -186,168 +320,195 @@ class TimingPipeline:
             # register, or being a non-anticipated load) are the two
             # hazards defined by the paper.
             lookahead_taken = False
-            if policy.supports_lookahead and dyn.is_load:
-                address_ready = max(
-                    (registers[r].ready for r in dyn.address_registers if r in registers),
-                    default=0,
+            if supports_lookahead and is_load:
+                address_ready = 0
+                for reg in addr_regs:
+                    ready = reg_ready[reg]
+                    if ready > address_ready:
+                        address_ready = ready
+                data_hazard = prev_dest is not None and prev_dest in addr_regs
+                resource_hazard = prev_is_load and not prev_lookahead
+                operands_late = address_ready > exec_cycle - 2
+                lookahead_taken = not (
+                    data_hazard or resource_hazard or operands_late
                 )
-                operands_ok = address_ready <= exec_cycle - 2
-                decision = self.lookahead_unit.evaluate(
-                    dyn,
-                    prev_dyn,
-                    predecessor_lookahead=prev_lookahead,
-                    address_operands_ready=operands_ok,
+                record_lookahead(
+                    LookaheadDecision(
+                        taken=lookahead_taken,
+                        data_hazard=data_hazard,
+                        resource_hazard=resource_hazard,
+                        operands_late=operands_late,
+                    )
                 )
-                lookahead_taken = decision.taken
 
             # ---------------------------------------------------------- #
             # Memory                                                     #
             # ---------------------------------------------------------- #
             unconstrained_m = ex_end + 1
-            m_start = max(unconstrained_m, prev_end[Stage.MEMORY] + 1)
-            if m_start > unconstrained_m:
-                stats.stalls.memory_structural += m_start - unconstrained_m
+            if pe_mem >= unconstrained_m:
+                m_start = pe_mem + 1
+                st_mem_struct += m_start - unconstrained_m
+            else:
+                m_start = unconstrained_m
             m_occupancy = 1
             load_hit = False
-            data_via_ecc = False
-            if dyn.is_load:
-                stats.loads += 1
-                drain_until = write_buffer.drain_complete_time(m_start)
+            if is_load:
+                n_loads += 1
+                drain_until = wb_drain_complete(m_start)
                 if drain_until > m_start:
-                    stats.stalls.write_buffer_drain += drain_until - m_start
-                    write_buffer.record_load_wait(drain_until - m_start)
+                    st_wb_drain += drain_until - m_start
+                    wb_record_load_wait(drain_until - m_start)
                     m_start = drain_until
-                outcome = hierarchy.load_access(dyn.address)
-                load_hit = outcome.hit
+                outcome = load_access(dyn.address)
                 if outcome.hit:
-                    stats.load_hits += 1
-                    m_occupancy = policy.memory_stage_cycles(is_load=True, hit=True)
+                    load_hit = True
+                    n_load_hits += 1
+                    m_occupancy = load_hit_cycles
                 else:
-                    stats.load_misses += 1
-                    m_occupancy = 1 + outcome.extra_cycles
-                    stats.stalls.dl1_miss += outcome.extra_cycles
-            elif dyn.is_store:
-                stats.stores += 1
-                outcome = hierarchy.store_access(dyn.address)
-                stalled_until = write_buffer.push(m_start, outcome.store_drain_latency)
+                    n_load_misses += 1
+                    extra = outcome.extra_cycles
+                    m_occupancy = 1 + extra
+                    st_dl1_miss += extra
+            elif is_store:
+                n_stores += 1
+                outcome = store_access(dyn.address)
+                stalled_until = wb_push(
+                    m_start, outcome.store_drain_latency, wb_capacity
+                )
                 if stalled_until > m_start:
-                    stats.stalls.write_buffer_full += stalled_until - m_start
+                    st_wb_full += stalled_until - m_start
                     m_start = stalled_until
             m_end = m_start + m_occupancy - 1
+            pe_mem = m_end
 
             # ---------------------------------------------------------- #
             # ECC stage (only traversed when the policy requires it)     #
             # ---------------------------------------------------------- #
-            uses_ecc_stage = False
-            ecc_start = ecc_end = 0
-            if policy.has_ecc_stage:
-                if policy.supports_lookahead:
-                    # LAEC: only non-anticipated DL1 load hits need the
-                    # dedicated check stage; anticipated loads complete
-                    # their check in Memory and everything else skips it.
-                    uses_ecc_stage = dyn.is_load and load_hit and not lookahead_taken
-                else:
-                    uses_ecc_stage = True
-            if uses_ecc_stage:
-                ecc_start = max(m_end + 1, prev_end[Stage.ECC] + 1)
-                ecc_end = ecc_start
+            if has_ecc_stage and (
+                not supports_lookahead or (is_load and load_hit and not lookahead_taken)
+            ):
+                # LAEC: only non-anticipated DL1 load hits need the
+                # dedicated check stage; anticipated loads complete
+                # their check in Memory and everything else skips it.
+                uses_ecc_stage = True
+                ecc_end = m_end + 1 if m_end >= pe_ecc else pe_ecc + 1
+                pe_ecc = ecc_end
+                before_xc = ecc_end
+            else:
+                uses_ecc_stage = False
+                ecc_end = 0
+                before_xc = m_end
 
             # ---------------------------------------------------------- #
             # Exception / Write-back                                     #
             # ---------------------------------------------------------- #
-            before_xc = ecc_end if uses_ecc_stage else m_end
-            xc_start = max(before_xc + 1, prev_end[Stage.EXCEPTION] + 1)
-            xc_end = xc_start
-            wb_start = max(xc_end + 1, prev_end[Stage.WRITE_BACK] + 1)
-            wb_end = wb_start
-            last_retire = max(last_retire, wb_end)
+            xc_end = before_xc + 1 if before_xc >= pe_xc else pe_xc + 1
+            pe_xc = xc_end
+            wb_end = xc_end + 1 if xc_end >= pe_wb else pe_wb + 1
+            pe_wb = wb_end
+            if wb_end > last_retire:
+                last_retire = wb_end
 
             # ---------------------------------------------------------- #
             # Result availability / bypass updates                       #
             # ---------------------------------------------------------- #
-            destination = dyn.destination_register
             if destination is not None:
-                if dyn.is_load:
-                    if load_hit:
-                        ready_stage = policy.load_hit_data_ready_stage(lookahead_taken)
-                        if ready_stage is DataReadyStage.ECC and uses_ecc_stage:
-                            ready = ecc_end
-                            data_via_ecc = True
-                        else:
-                            ready = m_end
+                if is_load:
+                    if load_hit and uses_ecc_stage:
+                        # Data leaves the dedicated check stage (the seed's
+                        # DataReadyStage.ECC case); anticipated LAEC loads
+                        # and miss data are ready at the end of Memory.
+                        reg_ready[destination] = ecc_end
+                        reg_via_ecc[destination] = True
                     else:
-                        # Miss data arrives already checked by the L2/memory.
-                        ready = m_end
-                    registers[destination] = _RegisterStatus(
-                        ready=ready, produced_by_load=True, via_ecc_stage=data_via_ecc
-                    )
+                        reg_ready[destination] = m_end
+                        reg_via_ecc[destination] = False
+                    reg_by_load[destination] = True
                 else:
-                    registers[destination] = _RegisterStatus(ready=ex_end)
-            if instr.sets_condition_codes:
+                    reg_ready[destination] = ex_end
+                    reg_by_load[destination] = False
+                    reg_via_ecc[destination] = False
+            if sets_cc:
                 cc_ready = ex_end
 
             # ---------------------------------------------------------- #
             # Control flow                                               #
             # ---------------------------------------------------------- #
-            if klass is InstructionClass.BRANCH:
-                stats.branches += 1
-                if dyn.branch_taken:
-                    stats.taken_branches += 1
-                    redirect_cycle = f_end + 1 + config.taken_branch_penalty
-                else:
-                    redirect_cycle = f_end + 1
-            elif klass is InstructionClass.CALL:
-                redirect_cycle = f_end + 1 + config.taken_branch_penalty
-            elif klass is InstructionClass.JUMP:
-                redirect_cycle = f_end + 1 + config.indirect_branch_penalty
+            if kind:
+                if kind == _KIND_BRANCH:
+                    n_branches += 1
+                    if dyn.branch_taken:
+                        n_taken += 1
+                        redirect_cycle = f_end + 1 + taken_branch_penalty
+                    else:
+                        redirect_cycle = f_end + 1
+                elif kind == _KIND_CALL:
+                    redirect_cycle = f_end + 1 + taken_branch_penalty
+                else:  # _KIND_JUMP
+                    redirect_cycle = f_end + 1 + indirect_branch_penalty
             else:
                 redirect_cycle = f_end + 1
 
             # ---------------------------------------------------------- #
             # Table II: dependent-load accounting                        #
             # ---------------------------------------------------------- #
-            if dyn.is_load:
-                distance = consumer_distance(stream, dyn.index, max_distance=2)
-                if distance is not None:
-                    stats.dependent_loads += 1
-                    if distance == 1:
-                        stats.dependent_load_distance_1 += 1
-                    else:
-                        stats.dependent_load_distance_2 += 1
+            if is_load and destination is not None:
+                follower = i + 1
+                if follower < n:
+                    f_info = infos[follower]
+                    if destination in f_info[2]:
+                        n_dep_loads += 1
+                        n_dep1 += 1
+                    elif f_info[3] != destination:
+                        follower += 1
+                        if follower < n and destination in infos[follower][2]:
+                            n_dep_loads += 1
+                            n_dep2 += 1
 
             # ---------------------------------------------------------- #
             # Chronogram recording                                       #
             # ---------------------------------------------------------- #
-            if record_window and dyn.index < record_window:
-                entry = ChronogramEntry(index=dyn.index, label=instr.render())
-                entry.record(Stage.FETCH, f_start, f_end)
-                entry.record(Stage.DECODE, d_start, d_end)
-                entry.record(Stage.REGISTER_ACCESS, ra_start, ra_end)
-                entry.record(Stage.EXECUTE, ex_start, ex_end)
-                entry.record(Stage.MEMORY, m_start, m_end)
+            if i < record_window:
+                entry = ChronogramEntry(index=i, label=dyn.instruction.render())
+                occupancy = entry.occupancy
+                occupancy[Stage.FETCH] = (f_start, f_end)
+                occupancy[Stage.DECODE] = (d_end, d_end)
+                occupancy[Stage.REGISTER_ACCESS] = (ra_end, ra_end)
+                occupancy[Stage.EXECUTE] = (ex_start, ex_end)
+                occupancy[Stage.MEMORY] = (m_start, m_end)
                 if uses_ecc_stage:
-                    entry.record(Stage.ECC, ecc_start, ecc_end)
-                entry.record(Stage.EXCEPTION, xc_start, xc_end)
-                entry.record(Stage.WRITE_BACK, wb_start, wb_end)
-                chronogram.add(entry)
+                    occupancy[Stage.ECC] = (ecc_end, ecc_end)
+                occupancy[Stage.EXCEPTION] = (xc_end, xc_end)
+                occupancy[Stage.WRITE_BACK] = (wb_end, wb_end)
+                chron_add(entry)
 
-            # ---------------------------------------------------------- #
-            # Advance per-stage in-order trackers                        #
-            # ---------------------------------------------------------- #
-            prev_end[Stage.FETCH] = f_end
-            prev_end[Stage.DECODE] = d_end
-            prev_end[Stage.REGISTER_ACCESS] = ra_end
-            prev_end[Stage.EXECUTE] = ex_end
-            prev_end[Stage.MEMORY] = m_end
-            if uses_ecc_stage:
-                prev_end[Stage.ECC] = ecc_end
-            prev_end[Stage.EXCEPTION] = xc_end
-            prev_end[Stage.WRITE_BACK] = wb_end
-            prev_dyn = dyn
+            prev_is_load = is_load
+            prev_dest = destination
             prev_lookahead = lookahead_taken
-            stats.instructions += 1
 
+        # Write the local accumulators back into the stats objects ------- #
+        stats.instructions = n
         stats.cycles = last_retire
+        stats.loads = n_loads
+        stats.stores = n_stores
+        stats.branches = n_branches
+        stats.taken_branches = n_taken
+        stats.load_hits = n_load_hits
+        stats.load_misses = n_load_misses
+        stats.dependent_loads = n_dep_loads
+        stats.dependent_load_distance_1 = n_dep1
+        stats.dependent_load_distance_2 = n_dep2
+        stalls = stats.stalls
+        stalls.operand_wait = st_operand
+        stalls.load_use_wait = st_load_use
+        stalls.ecc_wait = st_ecc_wait
+        stalls.memory_structural = st_mem_struct
+        stalls.dl1_miss = st_dl1_miss
+        stalls.write_buffer_full = st_wb_full
+        stalls.write_buffer_drain = st_wb_drain
+        stalls.branch_redirect = st_redirect
+        stalls.icache_miss = st_icache
+
         dl1 = hierarchy.dl1_statistics()
         return PipelineResult(
             policy=policy,

@@ -1,0 +1,52 @@
+"""Smoke tests for the perf harness (tiny configurations).
+
+The full harness run lives behind the ``perf`` pytest marker
+(``benchmarks/test_bench_perf.py``); these tests only prove the harness
+machinery works: benchmarks run, implementations agree, and the emitted
+JSON has the documented shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf import bench_fault_campaign, bench_timing_engine, run_harness
+from repro.perf.harness import SCHEMA, render_report
+
+
+def test_fault_campaign_bench_agrees_and_reports(tmp_path):
+    result = bench_fault_campaign(trials_per_point=60, repeats=1)
+    assert result.baseline_seconds > 0
+    assert result.optimized_seconds > 0
+    assert result.speedup > 0
+    assert result.meta["trials_per_point"] == 60
+
+
+def test_timing_engine_bench_agrees(tmp_path):
+    result = bench_timing_engine(kernel="puwmod", scale=0.05, repeats=1)
+    assert result.meta["dynamic_instructions"] > 0
+    assert result.meta["cycles"] > 0
+
+
+def test_run_harness_writes_schema_json(tmp_path):
+    report = run_harness(
+        trials_per_point=60,
+        sweep_scale=0.05,
+        timing_kernel="puwmod",
+        timing_scale=0.05,
+        sweep_kernels=["puwmod", "matrix"],
+        repeats=1,
+    )
+    out = tmp_path / "BENCH_test.json"
+    report.write_json(str(out))
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == SCHEMA
+    assert payload["platform"]["python"]
+    names = [bench["name"] for bench in payload["benchmarks"]]
+    assert names == ["fault_campaign", "timing_engine", "kernel_policy_sweep"]
+    for bench in payload["benchmarks"]:
+        assert bench["baseline_seconds"] > 0
+        assert bench["optimized_seconds"] > 0
+        assert bench["speedup"] == bench["baseline_seconds"] / bench["optimized_seconds"]
+    rendered = render_report(report)
+    assert "fault_campaign" in rendered and "speedup" in rendered

@@ -1,0 +1,79 @@
+"""The experiment runner's fast paths: trace cache and process fan-out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentRunner,
+    cached_kernel_trace,
+    clear_kernel_trace_cache,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_kernel_trace_cache()
+    yield
+    clear_kernel_trace_cache()
+
+
+class TestTraceCache:
+    def test_cache_returns_same_objects(self):
+        program_a, trace_a = cached_kernel_trace("matrix", 0.1)
+        program_b, trace_b = cached_kernel_trace("matrix", 0.1)
+        assert program_a is program_b
+        assert trace_a is trace_b
+
+    def test_cache_keyed_by_scale(self):
+        # Different scales are distinct cache entries (kernels quantize
+        # iteration counts, so lengths may coincide; identity may not).
+        _, small = cached_kernel_trace("matrix", 0.1)
+        _, large = cached_kernel_trace("matrix", 0.2)
+        assert small is not large
+        _, small_again = cached_kernel_trace("matrix", 0.1)
+        assert small_again is small
+
+    def test_runners_share_traces(self):
+        first = ExperimentRunner(scale=0.1, kernels=["matrix"]).run_all()
+        second = ExperimentRunner(scale=0.1, kernels=["matrix"]).run_all()
+        first_trace = first.results["matrix"]["no-ecc"].trace
+        second_trace = second.results["matrix"]["no-ecc"].trace
+        assert first_trace is second_trace
+
+    def test_clear_cache(self):
+        _, before = cached_kernel_trace("matrix", 0.1)
+        clear_kernel_trace_cache()
+        _, after = cached_kernel_trace("matrix", 0.1)
+        assert before is not after
+
+
+class TestParallelRunner:
+    KERNELS = ["cacheb", "matrix", "puwmod"]
+
+    def test_parallel_matches_serial(self):
+        serial = ExperimentRunner(scale=0.1, kernels=self.KERNELS).run_all()
+        parallel = ExperimentRunner(
+            scale=0.1, kernels=self.KERNELS, max_workers=2
+        ).run_all()
+        assert list(parallel.results) == list(serial.results)
+        for name, per_policy in serial.results.items():
+            assert list(parallel.results[name]) == list(per_policy)
+            for policy, serial_result in per_policy.items():
+                parallel_result = parallel.results[name][policy]
+                assert (
+                    parallel_result.stats.as_dict() == serial_result.stats.as_dict()
+                ), f"{name}/{policy}"
+
+    def test_parallel_reattaches_traces(self):
+        parallel = ExperimentRunner(
+            scale=0.1, kernels=self.KERNELS, max_workers=2
+        ).run_all()
+        for name, per_policy in parallel.results.items():
+            traces = {id(result.trace) for result in per_policy.values()}
+            assert len(traces) == 1, f"{name}: policies must share one trace"
+            assert next(iter(per_policy.values())).trace is not None
+
+    def test_run_all_caches_run_set(self):
+        runner = ExperimentRunner(scale=0.1, kernels=["matrix"], max_workers=2)
+        assert runner.run_all() is runner.run_all()

@@ -1,0 +1,115 @@
+"""Regression: the fast-path timing engine is cycle-identical to the seed.
+
+Every kernel is replayed under every Figure 8 policy (plus the
+write-through parity scheme) through both the optimized
+:class:`~repro.pipeline.timing.TimingPipeline` and the preserved seed
+engine :class:`~repro.pipeline.reference_timing.ReferenceTimingPipeline`.
+Total cycles, the full stall breakdown, look-ahead statistics, hierarchy
+counters and chronograms must all match — this is what guarantees that
+none of the paper's reported numbers moved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import EccPolicyKind, make_policy
+from repro.functional.simulator import run_program
+from repro.pipeline.config import CoreConfig, PipelineConfig
+from repro.pipeline.reference_timing import ReferenceTimingPipeline
+from repro.pipeline.timing import TimingPipeline
+from repro.simulation import build_hierarchy
+from repro.workloads import KERNEL_NAMES, build_kernel
+
+POLICIES = [
+    EccPolicyKind.NO_ECC,
+    EccPolicyKind.EXTRA_CYCLE,
+    EccPolicyKind.EXTRA_STAGE,
+    EccPolicyKind.LAEC,
+]
+
+SCALE = 0.1
+
+
+def _run_both(policy_kind, trace, *, chronogram_window=0, pipeline_config=None):
+    policy = make_policy(policy_kind)
+    core_config = CoreConfig().with_policy(policy)
+    config = pipeline_config or core_config.pipeline
+    if chronogram_window:
+        config = config.with_chronogram(chronogram_window)
+    reference = ReferenceTimingPipeline(
+        policy, build_hierarchy(core_config), config
+    ).run(trace)
+    optimized = TimingPipeline(policy, build_hierarchy(core_config), config).run(trace)
+    return reference, optimized
+
+
+@pytest.fixture(scope="module")
+def kernel_traces():
+    traces = {}
+    for name in KERNEL_NAMES:
+        program = build_kernel(name, scale=SCALE)
+        traces[name] = run_program(program)
+    return traces
+
+
+@pytest.mark.parametrize("policy_kind", POLICIES, ids=lambda kind: kind.value)
+def test_engines_identical_on_all_kernels(kernel_traces, policy_kind):
+    for name, trace in kernel_traces.items():
+        reference, optimized = _run_both(policy_kind, trace)
+        ref_stats = reference.stats.as_dict()
+        fast_stats = optimized.stats.as_dict()
+        assert fast_stats == ref_stats, (
+            f"{name}/{policy_kind.value}: "
+            f"{ {k: (ref_stats[k], fast_stats[k]) for k in ref_stats if ref_stats[k] != fast_stats[k]} }"
+        )
+        assert optimized.stats.stalls.as_dict() == reference.stats.stalls.as_dict()
+        assert optimized.dl1_stats == reference.dl1_stats
+        assert optimized.bus_transactions == reference.bus_transactions
+        assert optimized.bus_contention_cycles == reference.bus_contention_cycles
+
+
+def test_wt_parity_policy_identical(kernel_traces):
+    for name in ("matrix", "pntrch", "ttsprk"):
+        reference, optimized = _run_both(EccPolicyKind.WT_PARITY, kernel_traces[name])
+        assert optimized.stats.as_dict() == reference.stats.as_dict(), name
+
+
+@pytest.mark.parametrize("policy_kind", POLICIES, ids=lambda kind: kind.value)
+def test_chronograms_identical(kernel_traces, policy_kind):
+    trace = kernel_traces["matrix"]
+    reference, optimized = _run_both(policy_kind, trace, chronogram_window=48)
+    ref_entries = reference.chronogram.entries
+    fast_entries = optimized.chronogram.entries
+    assert len(fast_entries) == len(ref_entries)
+    for ref_entry, fast_entry in zip(ref_entries, fast_entries):
+        assert fast_entry.index == ref_entry.index
+        assert fast_entry.label == ref_entry.label
+        assert fast_entry.occupancy == ref_entry.occupancy
+
+
+def test_non_default_pipeline_config_identical(kernel_traces):
+    config = PipelineConfig(
+        taken_branch_penalty=2,
+        indirect_branch_penalty=3,
+        mul_latency=4,
+        div_latency=9,
+        write_buffer_entries=2,
+    )
+    for policy_kind in (EccPolicyKind.EXTRA_STAGE, EccPolicyKind.LAEC):
+        reference, optimized = _run_both(
+            policy_kind, kernel_traces["ttsprk"], pipeline_config=config
+        )
+        assert optimized.stats.as_dict() == reference.stats.as_dict()
+
+
+def test_optimized_engine_does_not_mutate_shared_write_buffer(kernel_traces):
+    """Seed behaviour: run() stamped its configured capacity onto the
+    shared hierarchy's write buffer.  The fast engine must not."""
+    policy = make_policy(EccPolicyKind.NO_ECC)
+    core_config = CoreConfig().with_policy(policy)
+    hierarchy = build_hierarchy(core_config)
+    hierarchy.write_buffer.capacity = 17  # sentinel
+    config = PipelineConfig(write_buffer_entries=2)
+    TimingPipeline(policy, hierarchy, config).run(kernel_traces["matrix"])
+    assert hierarchy.write_buffer.capacity == 17
