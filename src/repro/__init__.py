@@ -20,10 +20,13 @@ The package provides, from the bottom up:
 * :mod:`repro.soc` — a 4-core NGMP-like SoC model with shared bus and L2.
 * :mod:`repro.workloads` — EEMBC-Automotive-like kernels and synthetic
   trace generation.
+* :mod:`repro.scenarios` — the declarative :class:`SimulationSpec` and
+  the named-scenario registry every entry path funnels through.
 * :mod:`repro.analysis` — metrics, energy/leakage model, WCET analysis
   and report rendering.
 * :mod:`repro.experiments` — one module per paper table/figure plus
-  ablations.
+  ablations, unified behind the :class:`Experiment` registry served by
+  the ``python -m repro`` CLI.
 """
 
 from repro.core.policies import (
@@ -37,7 +40,19 @@ from repro.core.policies import (
 )
 from repro.memory.config import CacheConfig, MemoryHierarchyConfig
 from repro.pipeline.config import CoreConfig, PipelineConfig
-from repro.simulation import SimulationResult, simulate_kernel, simulate_program
+from repro.scenarios import (
+    InterferenceScenario,
+    SimulationSpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.simulation import (
+    SimulationResult,
+    simulate_kernel,
+    simulate_program,
+    simulate_spec,
+)
 
 __all__ = [
     "CacheConfig",
@@ -45,15 +60,21 @@ __all__ = [
     "EccPolicyKind",
     "ExtraCacheCyclePolicy",
     "ExtraStagePolicy",
+    "InterferenceScenario",
     "LaecPolicy",
     "MemoryHierarchyConfig",
     "NoEccPolicy",
     "PipelineConfig",
     "SimulationResult",
+    "SimulationSpec",
     "WriteThroughParityPolicy",
+    "get_scenario",
     "make_policy",
+    "register_scenario",
+    "scenario_names",
     "simulate_kernel",
     "simulate_program",
+    "simulate_spec",
 ]
 
 __version__ = "1.0.0"

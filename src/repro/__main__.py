@@ -1,0 +1,156 @@
+"""``python -m repro`` — the experiment command-line interface.
+
+Examples::
+
+    python -m repro --list                      # discover experiments
+    python -m repro --list-scenarios            # discover named scenarios
+    python -m repro --run figure8               # one experiment, stdout + artefact
+    python -m repro --run all --out out/ -w 0   # full campaign, parallel workers
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.base import (
+    DEFAULT_CAMPAIGN_SCALE,
+    ExperimentContext,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+)
+from repro.scenarios import scenario_description, scenario_names
+
+#: Default artefact directory — the one the benchmark harness populates.
+DEFAULT_OUTPUT_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "output"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce the paper's tables, figures and ablations. "
+            "Each experiment writes its artefact to --out (byte-identical "
+            "to the benchmark harness) and prints it to stdout."
+        ),
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the registered experiments and exit"
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the named simulation scenarios and exit",
+    )
+    parser.add_argument(
+        "--run",
+        action="append",
+        metavar="NAME",
+        help="experiment to run (repeatable; 'all' runs the full campaign)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help=f"artefact output directory (default: {DEFAULT_OUTPUT_DIR})",
+    )
+    parser.add_argument(
+        "--workers",
+        "-w",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "process-pool workers for the kernel simulation matrix "
+            "(0 = one per CPU; default: serial)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_CAMPAIGN_SCALE,
+        help=(
+            "kernel iteration-count scale for the campaign matrix "
+            f"(default: {DEFAULT_CAMPAIGN_SCALE}, the artefact scale)"
+        ),
+    )
+    parser.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="do not print rendered artefacts to stdout",
+    )
+    return parser
+
+
+def _list_experiments() -> str:
+    lines = ["Registered experiments:"]
+    for experiment in all_experiments():
+        artefact = f" -> {experiment.artifact}.txt" if experiment.artifact else ""
+        lines.append(f"  {experiment.name:22s} {experiment.description}{artefact}")
+    lines.append("")
+    lines.append("Run one with: python -m repro --run <name>   (or --run all)")
+    return "\n".join(lines)
+
+
+def _list_scenarios() -> str:
+    lines = ["Named simulation scenarios:"]
+    for name in scenario_names():
+        description = scenario_description(name)
+        lines.append(f"  {name:22s} {description}")
+    return "\n".join(lines)
+
+
+def _resolve_requested(requested: List[str]) -> List[str]:
+    names: List[str] = []
+    for name in requested:
+        if name.strip().lower() == "all":
+            return experiment_names()
+        names.append(name)
+    return names
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(_list_experiments())
+        return 0
+    if args.list_scenarios:
+        print(_list_scenarios())
+        return 0
+    if not args.run:
+        parser.print_usage()
+        print("nothing to do: pass --list, --list-scenarios or --run <name>")
+        return 2
+
+    try:
+        names = _resolve_requested(args.run)
+        experiments = [get_experiment(name) for name in names]
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+
+    out_dir = args.out if args.out is not None else DEFAULT_OUTPUT_DIR
+    context = ExperimentContext(scale=args.scale, workers=args.workers)
+    for experiment in experiments:
+        started = time.perf_counter()
+        output = experiment.execute(context)
+        elapsed = time.perf_counter() - started
+        path = output.write(out_dir)
+        if not args.quiet:
+            print(output.text)
+            print()
+        where = f" -> {path}" if path else ""
+        print(f"[{experiment.name}] done in {elapsed:.1f}s{where}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,11 @@ module                          paper artefact
 ``ablation_sensitivity``        sensitivity of Figure 8 to Table II stats
 ``fault_campaign``              SECDED correction/detection guarantees
 ==============================  =======================================
+
+Each driver module exposes ``run(...)``/``render(...)``; the uniform
+:class:`~repro.experiments.base.Experiment` wrappers in
+:mod:`repro.experiments.catalog` register them all in one discoverable
+registry, which is what ``python -m repro`` serves.
 """
 
 from repro.experiments import (
@@ -30,17 +35,41 @@ from repro.experiments import (
     table2,
     wt_vs_wb,
 )
-from repro.experiments.runner import ExperimentRunner, KernelRunSet
+from repro.experiments.base import (
+    DEFAULT_CAMPAIGN_SCALE,
+    Experiment,
+    ExperimentContext,
+    ExperimentOutput,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    register,
+)
+from repro.experiments.runner import (
+    ExperimentRunner,
+    KernelRunSet,
+    clear_kernel_trace_cache,
+)
+from repro.experiments import catalog  # noqa: F401  (registers the experiments)
 
 __all__ = [
+    "DEFAULT_CAMPAIGN_SCALE",
+    "Experiment",
+    "ExperimentContext",
+    "ExperimentOutput",
     "ExperimentRunner",
     "KernelRunSet",
     "ablation_hazards",
     "ablation_sensitivity",
+    "all_experiments",
     "chronograms",
+    "clear_kernel_trace_cache",
     "energy_report",
+    "experiment_names",
     "fault_campaign",
     "figure8",
+    "get_experiment",
+    "register",
     "table1",
     "table2",
     "wt_vs_wb",

@@ -1,0 +1,151 @@
+"""The registered experiment catalogue.
+
+One :class:`~repro.experiments.base.Experiment` per paper artefact,
+wrapping the corresponding driver module with the exact parameters the
+benchmark harness uses — so ``python -m repro --run <name>`` regenerates
+``benchmarks/output/<artifact>.txt`` byte-identically.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ablation_hazards,
+    ablation_sensitivity,
+    chronograms,
+    energy_report,
+    fault_campaign,
+    figure8,
+    table1,
+    table2,
+    wt_vs_wb,
+)
+from repro.experiments.base import Experiment, ExperimentContext, register
+
+
+@register
+class Table1Experiment(Experiment):
+    name = "table1"
+    description = "Table I: commercial processors and their L1 protection"
+    artifact = "table1"
+
+    def build(self, context: ExperimentContext):
+        return table1.run()
+
+    def render(self, result) -> str:
+        return table1.render(result)
+
+
+@register
+class Table2Experiment(Experiment):
+    name = "table2"
+    description = "Table II: per-benchmark load statistics (measured vs paper)"
+    artifact = "table2"
+    uses_run_set = True
+
+    def build(self, context: ExperimentContext):
+        return table2.run(run_set=context.run_set())
+
+    def render(self, result) -> str:
+        return table2.render(result)
+
+
+@register
+class Figure8Experiment(Experiment):
+    name = "figure8"
+    description = "Figure 8: execution-time increase of each ECC scheme"
+    artifact = "figure8"
+    uses_run_set = True
+
+    def build(self, context: ExperimentContext):
+        return figure8.run(run_set=context.run_set())
+
+    def render(self, result) -> str:
+        return figure8.render(result)
+
+
+@register
+class ChronogramsExperiment(Experiment):
+    name = "chronograms"
+    description = "Figures 2-5 and 7: pipeline chronograms of the micro-sequences"
+    artifact = "figures_2_to_7_chronograms"
+
+    def build(self, context: ExperimentContext):
+        return chronograms.run()
+
+    def render(self, result) -> str:
+        return chronograms.render(result)
+
+
+@register
+class EnergyReportExperiment(Experiment):
+    name = "energy_report"
+    description = "§IV-A energy study: dynamic/leakage increase per policy"
+    artifact = "energy_report"
+    uses_run_set = True
+
+    def build(self, context: ExperimentContext):
+        return energy_report.run(run_set=context.run_set())
+
+    def render(self, result) -> str:
+        return energy_report.render(result)
+
+
+@register
+class WtVsWbExperiment(Experiment):
+    name = "wt_vs_wb"
+    description = "§I/§II-A: WT+parity vs WB WCET bounds under bus contention"
+    artifact = "wt_vs_wb_wcet"
+
+    #: Harness parameters (store-intensive kernels, reduced scale).
+    kernels = ("iirflt", "puwmod", "a2time")
+    scale = 0.3
+
+    def build(self, context: ExperimentContext):
+        return wt_vs_wb.run(kernels=list(self.kernels), scale=self.scale)
+
+    def render(self, result) -> str:
+        return wt_vs_wb.render(result)
+
+
+@register
+class AblationHazardsExperiment(Experiment):
+    name = "ablation_hazards"
+    description = "Ablation A1: why LAEC anticipation is blocked, per benchmark"
+    artifact = "ablation_hazards"
+    uses_run_set = True
+
+    def build(self, context: ExperimentContext):
+        return ablation_hazards.run(run_set=context.run_set())
+
+    def render(self, result) -> str:
+        return ablation_hazards.render(result)
+
+
+@register
+class AblationSensitivityExperiment(Experiment):
+    name = "ablation_sensitivity"
+    description = "Ablation A2: sensitivity of Figure 8 to Table II statistics"
+    artifact = "ablation_sensitivity"
+
+    instructions = 8000
+
+    def build(self, context: ExperimentContext):
+        return ablation_sensitivity.run(instructions=self.instructions)
+
+    def render(self, result) -> str:
+        return ablation_sensitivity.render(result)
+
+
+@register
+class FaultCampaignExperiment(Experiment):
+    name = "fault_campaign"
+    description = "Ablation A3: fault-injection campaign on the ECC codecs"
+    artifact = "fault_campaign"
+
+    trials_per_point = 3000
+
+    def build(self, context: ExperimentContext):
+        return fault_campaign.run(trials_per_point=self.trials_per_point)
+
+    def render(self, result) -> str:
+        return fault_campaign.render(result)

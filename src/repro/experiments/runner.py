@@ -29,7 +29,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.core.policies import EccPolicyKind
 from repro.functional.simulator import FunctionalTrace, run_program
 from repro.isa.program import Program
-from repro.simulation import SimulationResult, simulate_program
+from repro.scenarios.spec import SimulationSpec
+from repro.simulation import SimulationResult, simulate_spec
 from repro.workloads import KERNEL_NAMES, build_kernel
 
 FIGURE8_POLICIES = (
@@ -45,13 +46,22 @@ FIGURE8_POLICIES = (
 #: only reads.
 _KERNEL_CACHE: Dict[Tuple[str, float], Tuple[Program, FunctionalTrace]] = {}
 
+#: Upper bound on cached (kernel, scale) traces.  The full campaign needs
+#: 16 (one per kernel at one scale); the cap keeps long-lived processes
+#: sweeping many scales from accumulating traces without bound.  Eviction
+#: is insertion-ordered (oldest first), which matches campaign access
+#: patterns: a sweep finishes one scale before starting the next.
+KERNEL_TRACE_CACHE_MAX_ENTRIES = 48
+
 
 def cached_kernel_trace(name: str, scale: float) -> Tuple[Program, FunctionalTrace]:
     """Build (or fetch) the program and functional trace of one kernel.
 
     The cache key is ``(name, scale)``: the functional behaviour of a
     kernel depends on nothing else, and in particular not on the ECC
-    policy or pipeline configuration being timed.
+    policy or pipeline configuration being timed.  The cache holds at
+    most :data:`KERNEL_TRACE_CACHE_MAX_ENTRIES` traces; the oldest entry
+    is evicted when a new one would exceed the cap.
     """
     key = (name, scale)
     cached = _KERNEL_CACHE.get(key)
@@ -59,12 +69,24 @@ def cached_kernel_trace(name: str, scale: float) -> Tuple[Program, FunctionalTra
         program = build_kernel(name, scale=scale)
         trace = run_program(program)
         cached = (program, trace)
+        while len(_KERNEL_CACHE) >= KERNEL_TRACE_CACHE_MAX_ENTRIES:
+            _KERNEL_CACHE.pop(next(iter(_KERNEL_CACHE)))
         _KERNEL_CACHE[key] = cached
     return cached
 
 
+def kernel_trace_cache_size() -> int:
+    """Number of (kernel, scale) traces currently cached."""
+    return len(_KERNEL_CACHE)
+
+
 def clear_kernel_trace_cache() -> None:
-    """Drop all cached functional traces (used by tests and benchmarks)."""
+    """Drop all cached functional traces.
+
+    Part of the public :mod:`repro.experiments` API: long-lived services
+    embedding the campaign machinery call this between campaigns to
+    release the (large) dynamic instruction streams.
+    """
     _KERNEL_CACHE.clear()
 
 
@@ -82,7 +104,11 @@ def _simulate_kernel_task(
     name, scale, policy_values = args
     program, trace = cached_kernel_trace(name, scale)
     per_policy = {
-        value: simulate_program(program, policy=value, trace=trace)
+        value: simulate_spec(
+            SimulationSpec(kernel=name, scale=scale, policy=value),
+            program=program,
+            trace=trace,
+        )
         for value in policy_values
     }
     for result in per_policy.values():
@@ -157,8 +183,9 @@ class ExperimentRunner:
             program, trace = cached_kernel_trace(name, self.scale)
             per_policy: Dict[str, SimulationResult] = {}
             for policy in self.policies:
-                per_policy[policy.value] = simulate_program(
-                    program, policy=policy, trace=trace
+                spec = SimulationSpec(kernel=name, scale=self.scale, policy=policy)
+                per_policy[policy.value] = simulate_spec(
+                    spec, program=program, trace=trace
                 )
             run_set.results[name] = per_policy
         return run_set

@@ -82,6 +82,12 @@ class MemoryHierarchyConfig:
       off-chip memory.
     * ``bus_contenders`` / ``bus_contention_mode`` — interference from
       the other cores of the SoC (see :class:`repro.memory.bus.Bus`).
+    * ``bus_slot_cycles`` — length of one round-robin arbitration slot.
+      This is the single source of truth for both interference models:
+      the analytic :class:`~repro.memory.bus.ContentionModel` charge and
+      the co-simulation arbiter's per-request clamp are derived from it,
+      which is what keeps ``co-simulated <= worst analytic`` sound for
+      non-default slot lengths.
     """
 
     l1d: CacheConfig = field(
@@ -102,6 +108,7 @@ class MemoryHierarchyConfig:
     store_through_latency: int = 6
     bus_contenders: int = 0
     bus_contention_mode: str = "none"  # "none" | "average" | "worst"
+    bus_slot_cycles: int = 6
 
     @property
     def l2_round_trip(self) -> int:

@@ -50,8 +50,23 @@ class MemoryHierarchy:
         memory: Optional[MainMemory] = None,
         write_buffer_entries: int = 4,
         dl1_ecc_code: Optional[EccCode] = None,
+        core_id: int = 0,
+        l2_address_offset: int = 0,
+        track_l2_master: bool = False,
     ) -> None:
         self.config = config
+        #: Identifies this core in shared-L2 accounting (co-simulation).
+        self.core_id = core_id
+        #: Offset applied to addresses presented to a *shared* L2 so that
+        #: different cores' identical virtual layouts do not alias to the
+        #: same lines (each task owns a distinct physical region).  Zero
+        #: for private (single-core / partitioned) hierarchies.
+        self.l2_address_offset = l2_address_offset
+        #: Master id passed to the L2 for per-core attribution, or
+        #: ``None`` to skip the accounting entirely — the default, so
+        #: single-core runs (the optimized campaign hot path) pay nothing
+        #: for a feature only shared-L2 co-simulations read.
+        self.l2_master = core_id if track_l2_master else None
         self.memory = memory or MainMemory(access_latency=config.memory_latency)
         self.l2 = l2 or SharedL2Cache(
             config.l2, self.memory, hit_latency=config.l2_hit_latency
@@ -61,6 +76,7 @@ class MemoryHierarchy:
             transfer_latency=config.bus_transfer_latency,
             contention=ContentionModel(
                 contenders=config.bus_contenders,
+                slot_cycles=config.bus_slot_cycles,
                 mode=config.bus_contention_mode,
             ),
         )
@@ -71,26 +87,35 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------ #
     # instruction side                                                   #
     # ------------------------------------------------------------------ #
-    def instruction_fetch_cycles(self, pc: int) -> int:
-        """Extra fetch cycles beyond the single-cycle L1I hit (0 on a hit)."""
+    def instruction_fetch_cycles(self, pc: int, *, cycle: Optional[int] = None) -> int:
+        """Extra fetch cycles beyond the single-cycle L1I hit (0 on a hit).
+
+        ``cycle`` is the issue cycle of the fetch; it is only needed when
+        the bus is backed by the co-simulation arbiter and is ignored by
+        the analytic contention model.
+        """
         result = self.l1i.access(pc, is_write=False)
         if result.hit:
             return 0
-        line_address = self.l1i.line_address(pc)
-        return self.bus.transaction_cycles("line") + self.l2.access_cycles(line_address)
+        line_address = self.l1i.line_address(pc) + self.l2_address_offset
+        return self.bus.transaction_cycles("line", cycle=cycle) + self.l2.access_cycles(
+            line_address, master=self.l2_master
+        )
 
     # ------------------------------------------------------------------ #
     # data side                                                          #
     # ------------------------------------------------------------------ #
-    def load_access(self, address: int) -> DataAccessOutcome:
+    def load_access(self, address: int, *, cycle: Optional[int] = None) -> DataAccessOutcome:
         """Timing of one load (hit/miss decision plus miss penalty)."""
         result = self.l1d.access(address, is_write=False)
         if result.hit:
             return DataAccessOutcome(hit=True)
-        extra = self._miss_penalty(address, result.writeback, result.writeback_address)
+        extra = self._miss_penalty(
+            address, result.writeback, result.writeback_address, cycle=cycle
+        )
         return DataAccessOutcome(hit=False, extra_cycles=extra, caused_writeback=result.writeback)
 
-    def store_access(self, address: int) -> DataAccessOutcome:
+    def store_access(self, address: int, *, cycle: Optional[int] = None) -> DataAccessOutcome:
         """Timing of one store as seen by the write buffer.
 
         Write-back DL1: a store hit drains in a single DL1 cycle; a store
@@ -104,7 +129,7 @@ class MemoryHierarchy:
             if result.hit:
                 return DataAccessOutcome(hit=True, store_drain_latency=1)
             extra = self._miss_penalty(
-                address, result.writeback, result.writeback_address
+                address, result.writeback, result.writeback_address, cycle=cycle
             )
             return DataAccessOutcome(
                 hit=False,
@@ -113,21 +138,36 @@ class MemoryHierarchy:
             )
         # Write-through: the DL1 lookup only decides whether the line is
         # also updated locally; the drain always pays a bus + L2 word write.
-        drain = self.bus.transaction_cycles("word") + self.config.store_through_latency
+        drain = (
+            self.bus.transaction_cycles("word", cycle=cycle)
+            + self.config.store_through_latency
+        )
         return DataAccessOutcome(hit=result.hit, store_drain_latency=drain)
 
     def _miss_penalty(
-        self, address: int, writeback: bool, writeback_address: Optional[int]
+        self,
+        address: int,
+        writeback: bool,
+        writeback_address: Optional[int],
+        cycle: Optional[int] = None,
     ) -> int:
-        line_address = self.l1d.line_address(address)
-        cycles = self.bus.transaction_cycles("line")
-        cycles += self.l2.access_cycles(line_address)
+        line_address = self.l1d.line_address(address) + self.l2_address_offset
+        cycles = self.bus.transaction_cycles("line", cycle=cycle)
+        cycles += self.l2.access_cycles(line_address, master=self.l2_master)
         if writeback and writeback_address is not None:
             # Dirty victim: the write-back occupies the bus and the L2
             # write port before the fill can complete (no write buffer
             # between L1 and L2 in this simple model).
-            cycles += self.bus.transaction_cycles("line")
-            cycles += self.l2.access_cycles(writeback_address, is_write=True) // 2
+            wb_cycle = None if cycle is None else cycle + cycles
+            cycles += self.bus.transaction_cycles("line", cycle=wb_cycle)
+            cycles += (
+                self.l2.access_cycles(
+                    writeback_address + self.l2_address_offset,
+                    is_write=True,
+                    master=self.l2_master,
+                )
+                // 2
+            )
         return cycles
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,116 @@
+"""The declarative simulation specification.
+
+A :class:`SimulationSpec` is the single, frozen description of "one
+timing run": which workload (a named kernel or a caller-supplied
+program), at which scale, under which ECC policy, on which pipeline and
+memory-hierarchy configuration, with which inter-core interference, and
+pinned to which core.  Every entry path of the library —
+:func:`repro.simulation.simulate_kernel`,
+:func:`repro.simulation.simulate_program`,
+:class:`repro.experiments.runner.ExperimentRunner` and
+:meth:`repro.soc.ngmp.NgmpSoC.run_task` — builds a spec and funnels it
+through :func:`repro.simulation.simulate_spec`, so scenario handling,
+caching and sharding logic all operate on one value type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.core.policies import EccPolicy, EccPolicyKind, make_policy
+from repro.memory.config import MemoryHierarchyConfig
+from repro.pipeline.config import CoreConfig, PipelineConfig
+from repro.scenarios.interference import InterferenceScenario
+
+PolicyLike = Union[str, EccPolicyKind, EccPolicy]
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """Everything needed to reproduce one timing run.
+
+    ``kernel`` names a workload from the registry; leave it ``None``
+    when the program object is supplied directly to
+    :func:`repro.simulation.simulate_spec`.  ``interference`` of ``None``
+    means "whatever contention is already encoded in ``hierarchy``"
+    (usually none); an explicit :class:`InterferenceScenario` overrides
+    the hierarchy's bus-contention fields.
+    """
+
+    kernel: Optional[str] = None
+    scale: float = 1.0
+    policy: PolicyLike = EccPolicyKind.NO_ECC
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    hierarchy: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
+    interference: Optional[InterferenceScenario] = None
+    core_index: int = 0
+    chronogram_window: int = 0
+    max_instructions: int = 5_000_000
+
+    # -- derived views -------------------------------------------------- #
+    def resolved_policy(self) -> EccPolicy:
+        return make_policy(self.policy)
+
+    def effective_hierarchy(self) -> MemoryHierarchyConfig:
+        """Hierarchy config with the spec's interference applied."""
+        if self.interference is None:
+            return self.hierarchy
+        scenario = self.interference
+        return self.hierarchy.with_contention(scenario.contenders, scenario.mode)
+
+    def core_config(self) -> CoreConfig:
+        """The per-core configuration this spec describes."""
+        pipeline = self.pipeline
+        if self.chronogram_window:
+            pipeline = pipeline.with_chronogram(self.chronogram_window)
+        return CoreConfig(
+            pipeline=pipeline,
+            hierarchy=self.effective_hierarchy(),
+            policy=self.policy,
+            name=f"core{self.core_index}",
+        )
+
+    def build_program(self):
+        """Assemble the named kernel (requires ``kernel`` to be set)."""
+        if self.kernel is None:
+            raise ValueError("this spec names no kernel; pass a program explicitly")
+        # Imported lazily: the workload suite is optional and pulls in the
+        # assembler, which must not be a hard dependency of the spec type.
+        from repro.workloads import build_kernel
+
+        return build_kernel(self.kernel, scale=self.scale)
+
+    # -- functional-style updates --------------------------------------- #
+    def with_policy(self, policy: PolicyLike) -> "SimulationSpec":
+        return replace(self, policy=policy)
+
+    def with_scale(self, scale: float) -> "SimulationSpec":
+        return replace(self, scale=scale)
+
+    def with_kernel(self, kernel: str) -> "SimulationSpec":
+        return replace(self, kernel=kernel)
+
+    def with_interference(
+        self, interference: Optional[InterferenceScenario]
+    ) -> "SimulationSpec":
+        return replace(self, interference=interference)
+
+    def with_chronogram(self, window: int) -> "SimulationSpec":
+        return replace(self, chronogram_window=window)
+
+    def with_core(self, core_index: int) -> "SimulationSpec":
+        return replace(self, core_index=core_index)
+
+    def describe(self) -> str:
+        workload = self.kernel or "<program>"
+        scenario = (
+            self.interference.describe()
+            if self.interference is not None
+            else "inherited contention"
+        )
+        return (
+            f"{workload} (scale {self.scale:g}) under "
+            f"{self.resolved_policy().kind.value} on core{self.core_index}; "
+            f"{scenario}"
+        )

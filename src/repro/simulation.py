@@ -11,6 +11,12 @@ Most users only need two calls::
 :func:`simulate_program` does the same for an arbitrary assembled
 :class:`~repro.isa.program.Program`, and :class:`SimulationResult`
 bundles the functional trace, the timing statistics and the chronogram.
+
+Since the scenario-first refactor every entry path — these two
+functions, the experiment runner and the SoC — constructs a declarative
+:class:`~repro.scenarios.SimulationSpec` and funnels it through
+:func:`simulate_spec`, the single place where a spec is turned into a
+functional trace, a memory hierarchy and a timing run.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from repro.pipeline.chronogram import Chronogram
 from repro.pipeline.config import CoreConfig, PipelineConfig
 from repro.pipeline.statistics import PipelineStatistics
 from repro.pipeline.timing import PipelineResult, TimingPipeline
+from repro.scenarios.spec import SimulationSpec
 
 
 @dataclass
@@ -37,6 +44,9 @@ class SimulationResult:
     trace: FunctionalTrace
     timing: PipelineResult
     hierarchy: MemoryHierarchy
+    #: The declarative spec this result was produced from (``None`` only
+    #: for results assembled by hand, e.g. in unit tests).
+    spec: Optional[SimulationSpec] = None
 
     @property
     def cycles(self) -> int:
@@ -77,6 +87,39 @@ def build_hierarchy(config: CoreConfig) -> MemoryHierarchy:
     )
 
 
+def simulate_spec(
+    spec: SimulationSpec,
+    *,
+    program: Optional[Program] = None,
+    trace: Optional[FunctionalTrace] = None,
+) -> SimulationResult:
+    """Execute one declarative :class:`SimulationSpec`.
+
+    This is the funnel every public entry path goes through.  ``program``
+    may be supplied to bypass the kernel registry (required when the spec
+    names no kernel); ``trace`` may be supplied to reuse a functional
+    trace across policies — the architectural stream is identical under
+    every ECC scheme by construction.
+    """
+    resolved_policy = spec.resolved_policy()
+    if program is None:
+        program = spec.build_program()
+    core_config = spec.core_config()
+    if trace is None:
+        trace = run_program(program, max_instructions=spec.max_instructions)
+    hierarchy = build_hierarchy(core_config)
+    pipeline = TimingPipeline(resolved_policy, hierarchy, core_config.pipeline)
+    timing = pipeline.run(trace)
+    return SimulationResult(
+        program_name=program.name,
+        policy=resolved_policy,
+        trace=trace,
+        timing=timing,
+        hierarchy=hierarchy,
+        spec=spec,
+    )
+
+
 def simulate_program(
     program: Program,
     *,
@@ -93,24 +136,15 @@ def simulate_program(
     several policies — the stream is identical by construction because
     none of the policies change architectural behaviour.
     """
-    resolved_policy = make_policy(policy)
     core_config = config or CoreConfig()
-    core_config = core_config.with_policy(resolved_policy)
-    pipeline_config = core_config.pipeline
-    if chronogram_window:
-        pipeline_config = pipeline_config.with_chronogram(chronogram_window)
-    if trace is None:
-        trace = run_program(program, max_instructions=max_instructions)
-    hierarchy = build_hierarchy(core_config)
-    pipeline = TimingPipeline(resolved_policy, hierarchy, pipeline_config)
-    timing = pipeline.run(trace)
-    return SimulationResult(
-        program_name=program.name,
-        policy=resolved_policy,
-        trace=trace,
-        timing=timing,
-        hierarchy=hierarchy,
+    spec = SimulationSpec(
+        policy=policy,
+        pipeline=core_config.pipeline,
+        hierarchy=core_config.hierarchy,
+        chronogram_window=chronogram_window,
+        max_instructions=max_instructions,
     )
+    return simulate_spec(spec, program=program, trace=trace)
 
 
 def simulate_kernel(
@@ -127,17 +161,16 @@ def simulate_kernel(
     trade accuracy for speed in tests); 1.0 reproduces the default
     workload sizes used by the benchmark harness.
     """
-    # Imported lazily to keep the core library importable without the
-    # workload suite (and to avoid a circular import at package init).
-    from repro.workloads import build_kernel
-
-    program = build_kernel(kernel_name, scale=scale)
-    return simulate_program(
-        program,
+    core_config = config or CoreConfig()
+    spec = SimulationSpec(
+        kernel=kernel_name,
+        scale=scale,
         policy=policy,
-        config=config,
+        pipeline=core_config.pipeline,
+        hierarchy=core_config.hierarchy,
         chronogram_window=chronogram_window,
     )
+    return simulate_spec(spec)
 
 
 def simulate_policies(

@@ -1,42 +1,40 @@
 """Inter-core interference scenarios for WCET experiments.
 
-A scenario describes how many other cores are generating bus traffic and
-how pessimistically their interference is accounted:
-
-* ``isolation`` — the task runs alone (no contention); this is the
-  average-performance configuration.
-* ``average`` — contenders are active and each bus transaction of the
-  task waits, on average, half a round of the round-robin arbiter.
-* ``worst`` — every transaction of the task waits a full round (one slot
-  per contender), the bound a measurement-based WCET estimate must
-  assume for this arbiter [Dasari 2011, paper reference [14]].
+The :class:`InterferenceScenario` value type itself lives in
+:mod:`repro.scenarios.interference` (it is part of the declarative
+scenario model); this module re-exports it under its historical import
+path and provides the SoC-aware helpers built on top of it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.scenarios.interference import InterferenceScenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (ngmp imports us)
+    from repro.soc.ngmp import NgmpConfig
+
+__all__ = ["InterferenceScenario", "contention_modes"]
 
 
-@dataclass(frozen=True)
-class InterferenceScenario:
-    """One interference configuration applied to the task under analysis."""
+def contention_modes(
+    contenders: Optional[int] = None, *, config: Optional["NgmpConfig"] = None
+) -> List[InterferenceScenario]:
+    """The three scenarios used by the WT-vs-WB WCET experiment.
 
-    name: str
-    contenders: int
-    mode: str  # "none" | "average" | "worst"
+    The default number of contenders is derived from the SoC topology
+    (``config.cores - 1``, i.e. every other core of the NGMP is busy)
+    rather than hard-coded; pass ``contenders`` to override it or
+    ``config`` to derive it from a non-default SoC.
+    """
+    if contenders is None:
+        if config is None:
+            # Imported lazily: ngmp.py imports this module at load time.
+            from repro.soc.ngmp import NgmpConfig
 
-    def describe(self) -> str:
-        if self.mode == "none" or self.contenders == 0:
-            return f"{self.name}: task in isolation"
-        return (
-            f"{self.name}: {self.contenders} contending core(s), "
-            f"{self.mode}-case round-robin interference"
-        )
-
-
-def contention_modes(contenders: int = 3) -> List[InterferenceScenario]:
-    """The three scenarios used by the WT-vs-WB WCET experiment."""
+            config = NgmpConfig()
+        contenders = max(config.cores - 1, 0)
     return [
         InterferenceScenario("isolation", 0, "none"),
         InterferenceScenario("average-contention", contenders, "average"),

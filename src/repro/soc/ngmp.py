@@ -2,14 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.core.policies import EccPolicy, EccPolicyKind, make_policy
+from repro.core.policies import EccPolicy, EccPolicyKind
 from repro.isa.program import Program
 from repro.memory.config import MemoryHierarchyConfig
 from repro.pipeline.config import CoreConfig, PipelineConfig
-from repro.simulation import SimulationResult, simulate_program
+from repro.scenarios.spec import SimulationSpec
+from repro.simulation import SimulationResult, simulate_spec
 from repro.soc.interference import InterferenceScenario
 
 
@@ -20,8 +21,17 @@ class NgmpConfig:
     cores: int = 4
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     hierarchy: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
-    #: Bus slot length (cycles) used by the round-robin contention model.
-    bus_slot_cycles: int = 6
+
+    @property
+    def bus_slot_cycles(self) -> int:
+        """Round-robin slot length (cycles).
+
+        Read from the hierarchy config, which is the single source of
+        truth shared by the analytic contention model and the
+        co-simulation arbiter — so the two interference models can never
+        disagree about the per-transaction round-robin bound.
+        """
+        return self.hierarchy.bus_slot_cycles
 
     def core_config(
         self,
@@ -49,48 +59,90 @@ class TaskPlacement:
 class NgmpSoC:
     """A 4-core NGMP-like system.
 
-    The evaluation methodology mirrors the paper: one task of interest
-    runs on one core; the other cores are represented by the bus
-    contention model (an interference abstraction rather than a lockstep
-    co-simulation, which is also how measurement-based WCET bounds for
-    round-robin buses are constructed).  ``run_task`` returns the full
-    single-core :class:`~repro.simulation.SimulationResult` with the
-    configured interference applied to every bus transaction.
+    Two complementary evaluation modes are offered:
+
+    * ``run_task`` mirrors the paper's methodology: one task of interest
+      runs on one core and the other cores are represented by the
+      analytic bus contention model (the abstraction measurement-based
+      WCET bounds for round-robin buses are constructed from).  It
+      returns the full single-core
+      :class:`~repro.simulation.SimulationResult` with the configured
+      interference applied to every bus transaction.
+    * ``co_simulate`` steps all placed tasks cycle-level in lockstep
+      against a shared round-robin bus arbiter (and optionally a truly
+      shared L2), observing interference instead of assuming it; per
+      task the observed cycles always fall between the ``isolation`` and
+      ``worst`` analytic bounds of :meth:`wcet_estimate`.
     """
 
     def __init__(self, config: Optional[NgmpConfig] = None) -> None:
         self.config = config or NgmpConfig()
 
     # ------------------------------------------------------------------ #
-    def run_task(
+    def build_spec(
         self,
         placement: TaskPlacement,
         *,
         scenario: Optional[InterferenceScenario] = None,
-    ) -> SimulationResult:
-        """Run one task under the given interference scenario."""
+    ) -> SimulationSpec:
+        """Translate a placement + scenario into a declarative spec.
+
+        Contender counts are clamped to the SoC topology (at most
+        ``cores - 1`` other masters can interfere).
+        """
         scenario = scenario or InterferenceScenario("isolation", 0, "none")
         if not 0 <= placement.core_index < self.config.cores:
             raise ValueError(
                 f"core index {placement.core_index} outside 0..{self.config.cores - 1}"
             )
         contenders = min(scenario.contenders, self.config.cores - 1)
-        core_config = self.config.core_config(
-            placement.policy,
-            contenders=contenders,
-            mode=scenario.mode,
-            name=f"core{placement.core_index}",
+        if contenders != scenario.contenders:
+            scenario = InterferenceScenario(scenario.name, contenders, scenario.mode)
+        return SimulationSpec(
+            policy=placement.policy,
+            pipeline=self.config.pipeline,
+            hierarchy=self.config.hierarchy,
+            interference=scenario,
+            core_index=placement.core_index,
         )
-        core_config = replace(
-            core_config,
-            hierarchy=replace(
-                core_config.hierarchy,
-                bus_contenders=contenders,
-                bus_contention_mode=scenario.mode,
-            ),
-        )
-        return simulate_program(
-            placement.program, policy=placement.policy, config=core_config
+
+    def run_task(
+        self,
+        placement: TaskPlacement,
+        *,
+        scenario: Optional[InterferenceScenario] = None,
+        trace=None,
+    ) -> SimulationResult:
+        """Run one task under the given (analytic) interference scenario."""
+        spec = self.build_spec(placement, scenario=scenario)
+        return simulate_spec(spec, program=placement.program, trace=trace)
+
+    def co_simulate(
+        self,
+        placements: Sequence[TaskPlacement],
+        *,
+        shared_l2: bool = False,
+        max_instructions: int = 5_000_000,
+        traces=None,
+    ):
+        """Cycle-level lockstep co-simulation of all placed tasks.
+
+        All tasks run concurrently against one shared round-robin bus
+        arbiter (and, with ``shared_l2=True``, one truly shared L2); see
+        :mod:`repro.soc.cosim` for the model and its relationship to the
+        analytic bounds of :meth:`wcet_estimate`.  Supports mixed
+        per-core ECC policies and heterogeneous programs.  Returns a
+        :class:`repro.soc.cosim.CoSimulationResult`.
+        """
+        # Imported lazily: cosim imports this module at load time.
+        from repro.soc.cosim import co_simulate
+
+        return co_simulate(
+            self.config,
+            placements,
+            shared_l2=shared_l2,
+            max_instructions=max_instructions,
+            traces=traces,
         )
 
     # ------------------------------------------------------------------ #
@@ -99,12 +151,15 @@ class NgmpSoC:
         placement: TaskPlacement,
         *,
         contenders: Optional[int] = None,
+        trace=None,
     ) -> Dict[str, int]:
         """Measurement-based execution-time bounds for one task.
 
         Returns observed cycles in isolation, under average contention and
         under worst-case contention (the latter is the WCET estimate a
-        certification argument would use for this arbiter).
+        certification argument would use for this arbiter).  ``trace``
+        optionally reuses one functional trace for all three runs (the
+        architectural stream is interference-independent).
         """
         if contenders is None:
             contenders = self.config.cores - 1
@@ -114,7 +169,9 @@ class NgmpSoC:
             InterferenceScenario("average", contenders, "average"),
             InterferenceScenario("worst", contenders, "worst"),
         ):
-            results[scenario.name] = self.run_task(placement, scenario=scenario).cycles
+            results[scenario.name] = self.run_task(
+                placement, scenario=scenario, trace=trace
+            ).cycles
         return results
 
     def compare_write_policies(

@@ -1,0 +1,271 @@
+"""Tests for the cycle-level multicore co-simulation.
+
+The load-bearing claims:
+
+* the stepping engine is cycle-identical to the fast-path engine when no
+  arbiter is attached (same schedule, same stall accounting);
+* a single-task co-simulation equals the isolation run exactly;
+* with N tasks sharing the bus, every task's observed cycles fall inside
+  ``[isolation, worst-analytic]`` — the bound construction the paper's
+  WCET methodology relies on — on **all 16 kernels**;
+* mixed per-core policies and heterogeneous programs work;
+* the truly shared L2 adds storage interference on top of the bus waits.
+"""
+
+import pytest
+
+from repro.core.policies import EccPolicyKind
+from repro.experiments.runner import FIGURE8_POLICIES, cached_kernel_trace
+from repro.memory.bus import RoundRobinArbiter
+from repro.pipeline.timing import TimingPipeline
+from repro.simulation import build_hierarchy, simulate_spec
+from repro.scenarios import SimulationSpec
+from repro.soc import NgmpConfig, NgmpSoC, TaskPlacement
+from repro.workloads import KERNEL_NAMES, build_kernel
+
+SCALE = 0.05
+
+
+def _drive(generator):
+    """Exhaust a step_instructions generator, returning its result."""
+    while True:
+        try:
+            next(generator)
+        except StopIteration as stop:
+            return stop.value
+
+
+class TestSteppingEngineEquivalence:
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    def test_step_matches_run_on_every_kernel_and_policy(self, kernel):
+        program, trace = cached_kernel_trace(kernel, SCALE)
+        for policy in FIGURE8_POLICIES:
+            spec = SimulationSpec(kernel=kernel, scale=SCALE, policy=policy)
+            core_config = spec.core_config()
+            resolved = spec.resolved_policy()
+
+            fast = TimingPipeline(
+                resolved, build_hierarchy(core_config), core_config.pipeline
+            ).run(trace)
+            stepped = _drive(
+                TimingPipeline(
+                    resolved, build_hierarchy(core_config), core_config.pipeline
+                ).step_instructions(trace)
+            )
+            assert stepped.cycles == fast.cycles, (kernel, policy)
+            assert stepped.stats.as_dict() == fast.stats.as_dict(), (kernel, policy)
+
+    def test_step_matches_run_under_wt_parity(self):
+        kernel = "puwmod"
+        program, trace = cached_kernel_trace(kernel, SCALE)
+        spec = SimulationSpec(
+            kernel=kernel, scale=SCALE, policy=EccPolicyKind.WT_PARITY
+        )
+        core_config = spec.core_config()
+        resolved = spec.resolved_policy()
+        fast = TimingPipeline(
+            resolved, build_hierarchy(core_config), core_config.pipeline
+        ).run(trace)
+        stepped = _drive(
+            TimingPipeline(
+                resolved, build_hierarchy(core_config), core_config.pipeline
+            ).step_instructions(trace)
+        )
+        assert stepped.cycles == fast.cycles
+        assert stepped.stats.as_dict() == fast.stats.as_dict()
+
+
+class TestArbiter:
+    def test_wait_is_clamped_to_one_round(self):
+        arbiter = RoundRobinArbiter(masters=4, slot_cycles=6)
+        assert arbiter.max_wait == 18
+        # saturate the bus far into the future
+        arbiter.acquire(0, 0, 100)
+        wait = arbiter.acquire(1, 0, 6)
+        assert wait == 18
+        assert arbiter.stats.capped_waits == 1
+
+    def test_idle_bus_grants_immediately(self):
+        arbiter = RoundRobinArbiter(masters=4, slot_cycles=6)
+        assert arbiter.acquire(2, 10, 6) == 0
+        assert arbiter.busy_until == 16
+
+    def test_single_master_never_waits(self):
+        arbiter = RoundRobinArbiter(masters=1, slot_cycles=6)
+        arbiter.acquire(0, 0, 50)
+        assert arbiter.acquire(0, 0, 6) == 0
+
+    def test_reset(self):
+        arbiter = RoundRobinArbiter(masters=2)
+        arbiter.acquire(0, 0, 6)
+        arbiter.reset()
+        assert arbiter.busy_until == 0
+        assert arbiter.stats.grants == 0
+
+
+class TestCoSimulation:
+    def test_single_task_equals_isolation(self):
+        soc = NgmpSoC()
+        program = build_kernel("rspeed", scale=SCALE)
+        placement = TaskPlacement(program=program, policy="laec")
+        isolation = soc.run_task(placement).cycles
+        cosim = soc.co_simulate([placement])
+        assert cosim.cycles(0) == isolation
+        assert cosim.makespan == isolation
+
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    def test_cosim_bounded_by_analytic_scenarios(self, kernel):
+        """isolation <= co-simulated <= worst analytic, on every kernel."""
+        soc = NgmpSoC()
+        program, trace = cached_kernel_trace(kernel, SCALE)
+        placements = [
+            TaskPlacement(program=program, core_index=core, policy="laec")
+            for core in range(4)
+        ]
+        bounds = soc.wcet_estimate(
+            TaskPlacement(program=program, policy="laec"), contenders=3, trace=trace
+        )
+        cosim = soc.co_simulate(placements, traces={core: trace for core in range(4)})
+        for outcome in cosim.outcomes:
+            assert bounds["isolation"] <= outcome.cycles <= bounds["worst"], (
+                kernel,
+                outcome.core_index,
+            )
+        # with four cores loading one bus, somebody must actually wait
+        assert cosim.arbiter_stats.wait_cycles > 0
+
+    def test_mixed_policies_and_heterogeneous_programs(self):
+        soc = NgmpSoC()
+        mix = [
+            ("rspeed", EccPolicyKind.LAEC),
+            ("puwmod", EccPolicyKind.NO_ECC),
+            ("tblook", EccPolicyKind.EXTRA_STAGE),
+            ("canrdr", EccPolicyKind.WT_PARITY),
+        ]
+        placements = [
+            TaskPlacement(
+                program=build_kernel(name, scale=SCALE), core_index=i, policy=policy
+            )
+            for i, (name, policy) in enumerate(mix)
+        ]
+        cosim = soc.co_simulate(placements)
+        assert [o.program_name for o in cosim.outcomes] == [m[0] for m in mix]
+        for placement, outcome in zip(placements, cosim.outcomes):
+            bounds = soc.wcet_estimate(
+                TaskPlacement(program=placement.program, policy=placement.policy),
+                contenders=3,
+            )
+            assert bounds["isolation"] <= outcome.cycles <= bounds["worst"], (
+                outcome.program_name
+            )
+
+    def test_shared_l2_attributes_traffic_and_slows_no_core_below_isolation(self):
+        soc = NgmpSoC()
+        program = build_kernel("cacheb", scale=SCALE)
+        placements = [
+            TaskPlacement(program=program, core_index=core, policy="no-ecc")
+            for core in range(4)
+        ]
+        isolation = soc.run_task(
+            TaskPlacement(program=program, policy="no-ecc")
+        ).cycles
+        shared = soc.co_simulate(placements, shared_l2=True)
+        assert shared.shared_l2
+        assert set(shared.l2_accesses_by_core) == {0, 1, 2, 3}
+        for outcome in shared.outcomes:
+            assert outcome.cycles >= isolation
+
+    def test_shared_l2_adds_storage_misses_over_isolation(self):
+        """Sharing L2 content can only add misses to each task's stream.
+
+        With LRU, interleaving other cores' (disjoint) lines into a set
+        never increases a task's hits — the inclusion property — so each
+        core's shared-mode miss count must be at least its isolation
+        miss count.  (Total *cycles* are not so ordered: a contender's
+        miss can absorb a dirty-writeback charge the task would
+        otherwise pay itself, which is why the sound analytic bound is
+        constructed for the partitioned configuration.)
+        """
+        soc = NgmpSoC()
+        program = build_kernel("cacheb", scale=SCALE)
+        isolation = soc.run_task(TaskPlacement(program=program, policy="no-ecc"))
+        isolation_l2_misses = isolation.hierarchy.l2.stats.misses
+        placements = [
+            TaskPlacement(program=program, core_index=core, policy="no-ecc")
+            for core in range(4)
+        ]
+        shared = soc.co_simulate(placements, shared_l2=True)
+        for core in range(4):
+            assert shared.l2_misses_by_core[core] >= isolation_l2_misses
+
+    def test_validation_errors(self):
+        soc = NgmpSoC()
+        program = build_kernel("rspeed", scale=SCALE)
+        with pytest.raises(ValueError):
+            soc.co_simulate([])
+        with pytest.raises(ValueError):
+            soc.co_simulate(
+                [TaskPlacement(program=program, core_index=0) for _ in range(2)]
+            )
+        with pytest.raises(ValueError):
+            soc.co_simulate([TaskPlacement(program=program, core_index=9)])
+        with pytest.raises(ValueError):
+            soc.co_simulate(
+                [TaskPlacement(program=program, core_index=i) for i in range(5)]
+            )
+
+    def test_nondefault_slot_cycles_keeps_bounds(self):
+        """bus_slot_cycles is one source of truth for both models.
+
+        With a longer round-robin slot the analytic contention model and
+        the co-simulation arbiter must both use it, or the worst-case
+        envelope silently breaks.
+        """
+        from repro.memory.config import MemoryHierarchyConfig
+
+        hierarchy = MemoryHierarchyConfig(bus_slot_cycles=12)
+        soc = NgmpSoC(NgmpConfig(hierarchy=hierarchy))
+        assert soc.config.bus_slot_cycles == 12
+        program = build_kernel("rspeed", scale=SCALE)
+        placements = [
+            TaskPlacement(program=program, core_index=core, policy="laec")
+            for core in range(4)
+        ]
+        bounds = soc.wcet_estimate(
+            TaskPlacement(program=program, policy="laec"), contenders=3
+        )
+        cosim = soc.co_simulate(placements)
+        for outcome in cosim.outcomes:
+            assert bounds["isolation"] <= outcome.cycles <= bounds["worst"]
+        # the longer slot makes the analytic round strictly costlier than
+        # the default-slot bound
+        default_bounds = NgmpSoC().wcet_estimate(
+            TaskPlacement(program=program, policy="laec"), contenders=3
+        )
+        assert bounds["worst"] > default_bounds["worst"]
+
+    def test_cosim_chronogram_window_records_entries(self):
+        """step_instructions honours the chronogram window like run()."""
+        from repro.pipeline.config import PipelineConfig
+
+        soc = NgmpSoC(NgmpConfig(pipeline=PipelineConfig(chronogram_window=12)))
+        program = build_kernel("rspeed", scale=SCALE)
+        cosim = soc.co_simulate([TaskPlacement(program=program, policy="laec")])
+        entries = cosim.outcomes[0].timing.chronogram.entries
+        assert len(entries) == 12
+        single = soc.run_task(TaskPlacement(program=program, policy="laec"))
+        assert single.chronogram.entries[0].occupancy == entries[0].occupancy
+
+    def test_two_core_soc(self):
+        soc = NgmpSoC(NgmpConfig(cores=2))
+        program = build_kernel("rspeed", scale=SCALE)
+        placements = [
+            TaskPlacement(program=program, core_index=core, policy="laec")
+            for core in range(2)
+        ]
+        bounds = soc.wcet_estimate(
+            TaskPlacement(program=program, policy="laec"), contenders=1
+        )
+        cosim = soc.co_simulate(placements)
+        for outcome in cosim.outcomes:
+            assert bounds["isolation"] <= outcome.cycles <= bounds["worst"]

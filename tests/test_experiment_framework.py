@@ -1,0 +1,164 @@
+"""Tests for the Experiment framework, registry, CLI and trace-cache cap."""
+
+import pathlib
+
+import pytest
+
+from repro import __main__ as cli
+from repro.experiments import (
+    ExperimentContext,
+    all_experiments,
+    clear_kernel_trace_cache,
+    experiment_names,
+    get_experiment,
+)
+from repro.experiments import runner as runner_module
+from repro.experiments.base import Experiment, register
+from repro.experiments.runner import (
+    KERNEL_TRACE_CACHE_MAX_ENTRIES,
+    cached_kernel_trace,
+    kernel_trace_cache_size,
+)
+
+EXPECTED_EXPERIMENTS = {
+    "table1",
+    "table2",
+    "figure8",
+    "chronograms",
+    "energy_report",
+    "wt_vs_wb",
+    "ablation_hazards",
+    "ablation_sensitivity",
+    "fault_campaign",
+}
+
+EXPECTED_ARTIFACTS = {
+    "table1",
+    "table2",
+    "figure8",
+    "figures_2_to_7_chronograms",
+    "energy_report",
+    "wt_vs_wb_wcet",
+    "ablation_hazards",
+    "ablation_sensitivity",
+    "fault_campaign",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_is_registered(self):
+        assert set(experiment_names()) == EXPECTED_EXPERIMENTS
+        assert {e.artifact for e in all_experiments()} == EXPECTED_ARTIFACTS
+
+    def test_every_experiment_is_described(self):
+        for experiment in all_experiments():
+            assert experiment.description
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("no-such-experiment")
+
+    def test_register_rejects_anonymous_and_duplicate(self):
+        with pytest.raises(ValueError):
+
+            @register
+            class Anonymous(Experiment):
+                def build(self, context):
+                    return None
+
+                def render(self, result):
+                    return ""
+
+        with pytest.raises(ValueError):
+
+            @register
+            class Duplicate(Experiment):
+                name = "table1"
+                description = "duplicate"
+
+                def build(self, context):
+                    return None
+
+                def render(self, result):
+                    return ""
+
+
+class TestExecution:
+    def test_table1_executes_and_writes_artifact(self, tmp_path):
+        output = get_experiment("table1").execute()
+        assert output.artifact == "table1"
+        assert "Table I" in output.text
+        path = output.write(tmp_path)
+        assert path == tmp_path / "table1.txt"
+        assert path.read_text(encoding="utf-8") == output.text + "\n"
+
+    def test_context_shares_one_run_set(self):
+        context = ExperimentContext(scale=0.1)
+        first = context.run_set()
+        second = context.run_set()
+        assert first is second
+
+    def test_run_set_consumers_share_the_context_matrix(self):
+        context = ExperimentContext(scale=0.12)
+        # monkeypatch-free check: both experiments must reuse the same
+        # KernelRunSet object through the context
+        run_set = context.run_set()
+        table2_result = get_experiment("table2").build(context)
+        assert context.run_set() is run_set
+        assert len(table2_result) == len(run_set.benchmarks())
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPECTED_EXPERIMENTS:
+            assert name in out
+
+    def test_list_scenarios(self, capsys):
+        assert cli.main(["--list-scenarios"]) == 0
+        assert "laec-worst" in capsys.readouterr().out
+
+    def test_no_action_is_an_error(self, capsys):
+        assert cli.main([]) == 2
+
+    def test_unknown_experiment_is_an_error(self, capsys):
+        assert cli.main(["--run", "nope"]) == 2
+
+    def test_run_writes_artifact(self, tmp_path, capsys):
+        assert cli.main(["--run", "table1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.txt").exists()
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_quiet_suppresses_stdout_table(self, tmp_path, capsys):
+        assert cli.main(["--run", "table1", "--out", str(tmp_path), "--quiet"]) == 0
+        assert "Table I" not in capsys.readouterr().out
+
+
+class TestKernelTraceCacheCap:
+    def test_cache_is_bounded_and_evicts_oldest(self):
+        clear_kernel_trace_cache()
+        try:
+            original = runner_module.KERNEL_TRACE_CACHE_MAX_ENTRIES
+            runner_module.KERNEL_TRACE_CACHE_MAX_ENTRIES = 3
+            for scale in (0.01, 0.02, 0.03, 0.04):
+                cached_kernel_trace("rspeed", scale)
+            assert kernel_trace_cache_size() == 3
+            # oldest entry (0.01) was evicted, newest still present
+            assert ("rspeed", 0.01) not in runner_module._KERNEL_CACHE
+            assert ("rspeed", 0.04) in runner_module._KERNEL_CACHE
+        finally:
+            runner_module.KERNEL_TRACE_CACHE_MAX_ENTRIES = original
+            clear_kernel_trace_cache()
+
+    def test_clear_is_public_api(self):
+        import repro.experiments as experiments
+
+        assert "clear_kernel_trace_cache" in experiments.__all__
+        cached_kernel_trace("rspeed", 0.01)
+        clear_kernel_trace_cache()
+        assert kernel_trace_cache_size() == 0
+
+    def test_default_cap_fits_full_campaign(self):
+        assert KERNEL_TRACE_CACHE_MAX_ENTRIES >= 16

@@ -1,0 +1,36 @@
+"""Golden-output regression: the CLI path reproduces committed artefacts.
+
+``benchmarks/output/`` holds the rendered artefacts the benchmark
+harness produced.  The two cheap ones — Table I (pure data) and the
+WT-vs-WB WCET study (a real simulation campaign) — are regenerated here
+through the new ``python -m repro`` Experiment path and diffed
+byte-for-byte, so any drift in the simulation model, the rendering code
+or the CLI plumbing fails the default test suite, not just the opt-in
+benchmark run.
+"""
+
+import pathlib
+
+import pytest
+
+from repro import __main__ as cli
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "output"
+
+#: (experiment name, artefact stem) pairs cheap enough for tier-1.
+GOLDEN_CASES = [
+    ("table1", "table1"),
+    ("wt_vs_wb", "wt_vs_wb_wcet"),
+]
+
+
+@pytest.mark.parametrize("experiment,artifact", GOLDEN_CASES)
+def test_cli_regenerates_golden_artifact(experiment, artifact, tmp_path):
+    golden = GOLDEN_DIR / f"{artifact}.txt"
+    assert golden.exists(), f"missing golden artefact {golden}"
+    code = cli.main(["--run", experiment, "--out", str(tmp_path), "--quiet"])
+    assert code == 0
+    regenerated = tmp_path / f"{artifact}.txt"
+    assert regenerated.read_text(encoding="utf-8") == golden.read_text(
+        encoding="utf-8"
+    ), f"{artifact} drifted from the committed golden output"
