@@ -1,0 +1,116 @@
+"""Campaign-engine throughput benchmark — writes ``BENCH_3.json``.
+
+Measures the architectural fault-injection campaign in the four regimes
+that matter operationally:
+
+* **serial, cold** — every point simulated in-process;
+* **sharded, cold** — points fanned out over a 2-worker process pool;
+* **store, cold** — serial simulation plus a write of every point into
+  a fresh SQLite result store;
+* **store, warm** — the same campaign resumed against the populated
+  store (pure content-hash lookups, zero simulation).
+
+Marked ``perf`` so the default test run stays fast; run explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_campaign.py -m perf -q
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+
+import pytest
+
+from repro.campaign import CampaignConfig, run_campaign
+from repro.store import ResultStore
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+CONFIG = CampaignConfig(
+    kernels=("canrdr", "matrix"),
+    scale=0.1,
+    trials=24,
+    batch=8,
+    seed=2019,
+)
+
+
+def _timed(label, fn):
+    started = time.perf_counter()
+    result = fn()
+    seconds = time.perf_counter() - started
+    return {
+        "name": label,
+        "points": result.points,
+        "simulated": result.simulated,
+        "store_hits": result.store_hits,
+        "seconds": seconds,
+        "points_per_second": result.points / seconds if seconds > 0 else 0.0,
+    }
+
+
+@pytest.mark.perf
+def test_bench_campaign_throughput(tmp_path):
+    rows = []
+    rows.append(_timed("serial_cold", lambda: run_campaign(CONFIG)))
+    sharded = CampaignConfig(
+        kernels=CONFIG.kernels,
+        scale=CONFIG.scale,
+        trials=CONFIG.trials,
+        batch=CONFIG.batch,
+        seed=CONFIG.seed,
+        workers=2,
+    )
+    rows.append(_timed("sharded_cold", lambda: run_campaign(sharded)))
+
+    store_path = tmp_path / "bench_campaign.sqlite"
+    with ResultStore(store_path) as store:
+        rows.append(
+            _timed(
+                "store_cold",
+                lambda: run_campaign(CONFIG, store=store, resume=True),
+            )
+        )
+    with ResultStore(store_path) as store:
+        rows.append(
+            _timed(
+                "store_warm",
+                lambda: run_campaign(CONFIG, store=store, resume=True),
+            )
+        )
+
+    by_name = {row["name"]: row for row in rows}
+    # The warm run must be a pure store sweep ...
+    assert by_name["store_warm"]["simulated"] == 0
+    assert by_name["store_warm"]["store_hits"] == by_name["store_warm"]["points"]
+    # ... and dramatically faster than simulating.
+    assert (
+        by_name["store_warm"]["points_per_second"]
+        >= 5.0 * by_name["store_cold"]["points_per_second"]
+    ), "store hits are not cheaper than simulation"
+    # Sharding must not change the sampled point count.
+    assert by_name["sharded_cold"]["points"] == by_name["serial_cold"]["points"]
+
+    report = {
+        "schema": "repro-campaign-bench/1",
+        "created_unix": time.time(),
+        "platform": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "kernels": list(CONFIG.kernels),
+            "policies": list(CONFIG.policies),
+            "scale": CONFIG.scale,
+            "trials_per_stratum": CONFIG.trials,
+            "batch": CONFIG.batch,
+            "seed": CONFIG.seed,
+        },
+        "benchmarks": rows,
+    }
+    out = REPO_ROOT / "BENCH_3.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")

@@ -41,6 +41,7 @@ from repro.core.policies import (
 from repro.memory.config import CacheConfig, MemoryHierarchyConfig
 from repro.pipeline.config import CoreConfig, PipelineConfig
 from repro.scenarios import (
+    FaultSpec,
     InterferenceScenario,
     SimulationSpec,
     get_scenario,
@@ -60,6 +61,7 @@ __all__ = [
     "EccPolicyKind",
     "ExtraCacheCyclePolicy",
     "ExtraStagePolicy",
+    "FaultSpec",
     "InterferenceScenario",
     "LaecPolicy",
     "MemoryHierarchyConfig",

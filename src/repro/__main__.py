@@ -6,6 +6,14 @@ Examples::
     python -m repro --list-scenarios            # discover named scenarios
     python -m repro --run figure8               # one experiment, stdout + artefact
     python -m repro --run all --out out/ -w 0   # full campaign, parallel workers
+
+Architectural fault-injection campaigns get their own subcommand::
+
+    python -m repro campaign --kernels matrix,canrdr --trials 100 \
+        --store campaign.sqlite              # checkpoint every point
+    python -m repro campaign --kernels matrix,canrdr --trials 100 \
+        --store campaign.sqlite --resume     # simulate only missing points
+    python -m repro campaign --kernels all --ci-target 0.05 --workers 0
 """
 
 from __future__ import annotations
@@ -80,12 +88,195 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "RNG seed for experiments that draw random trials "
+            "(fault_campaign, campaign_summary); default: each "
+            "experiment's committed seed"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "attach a persistent result store (SQLite): simulation "
+            "results are reused across processes by content hash"
+        ),
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help=(
+            "bypass all result caches (in-memory and --store reads); "
+            "recomputes everything and refreshes the store"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         "-q",
         action="store_true",
         help="do not print rendered artefacts to stdout",
     )
     return parser
+
+
+def _build_campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description=(
+            "Statistical architectural fault-injection campaign: sample "
+            "(injection cycle x cache word x bit) points per kernel x "
+            "policy, replay each fault in a live DL1 during a real kernel "
+            "run, and classify outcomes architecturally (masked / "
+            "corrected / detected / SDC / timing) with Wilson confidence "
+            "intervals."
+        ),
+    )
+    parser.add_argument(
+        "--kernels",
+        default="canrdr,matrix",
+        metavar="A,B,...",
+        help="comma-separated kernel names, or 'all' (default: canrdr,matrix)",
+    )
+    parser.add_argument(
+        "--policies",
+        default=",".join(
+            ("no-ecc", "extra-cycle", "extra-stage", "laec")
+        ),
+        metavar="A,B,...",
+        help="comma-separated ECC policies (default: the four Figure 8 policies)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=80,
+        metavar="N",
+        help="maximum sampled faults per kernel x policy stratum (default: 80)",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=20,
+        metavar="N",
+        help="points between early-stopping checks (default: 20)",
+    )
+    parser.add_argument(
+        "--ci-target",
+        type=float,
+        default=None,
+        metavar="W",
+        help=(
+            "stop a stratum early once the Wilson 95%% half-width of its "
+            "SDC and corrected rates reaches W (e.g. 0.05)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.2,
+        help="kernel iteration-count scale (default: 0.2)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2019, help="campaign seed (default: 2019)"
+    )
+    parser.add_argument(
+        "--workers",
+        "-w",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool workers sharding the points (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--store",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="persist every finished point to this SQLite store",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "reuse points already in --store (simulate only the missing "
+            "ones); without it every point is recomputed and overwritten"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="also write the rendered summary to FILE",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true", help="do not print the summary"
+    )
+    return parser
+
+
+def _run_campaign_command(argv: List[str]) -> int:
+    from repro.campaign import CampaignConfig, run_campaign
+    from repro.store import ResultStore
+    from repro.workloads import KERNEL_NAMES
+
+    args = _build_campaign_parser().parse_args(argv)
+    kernels_arg = args.kernels.strip().lower()
+    kernels = (
+        tuple(KERNEL_NAMES)
+        if kernels_arg == "all"
+        else tuple(name.strip() for name in args.kernels.split(",") if name.strip())
+    )
+    policies = tuple(
+        name.strip() for name in args.policies.split(",") if name.strip()
+    )
+    try:
+        config = CampaignConfig(
+            kernels=kernels,
+            policies=policies,
+            scale=args.scale,
+            trials=args.trials,
+            batch=args.batch,
+            ci_target=args.ci_target,
+            seed=args.seed,
+            workers=args.workers,
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.resume and args.store is None:
+        print("--resume needs --store PATH", file=sys.stderr)
+        return 2
+
+    store = ResultStore(args.store) if args.store is not None else None
+    started = time.perf_counter()
+    try:
+        result = run_campaign(config, store=store, resume=args.resume)
+    finally:
+        if store is not None:
+            store.close()
+    elapsed = time.perf_counter() - started
+
+    text = result.render()
+    if not args.quiet:
+        print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n", encoding="utf-8")
+    rate = result.points / elapsed if elapsed > 0 else 0.0
+    print(
+        f"[campaign] strata={len(result.strata)} points={result.points} "
+        f"simulated={result.simulated} store-hits={result.store_hits} "
+        f"store-misses={result.store_misses} in {elapsed:.1f}s "
+        f"({rate:.1f} points/s)",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _list_experiments() -> str:
@@ -116,6 +307,10 @@ def _resolve_requested(requested: List[str]) -> List[str]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        return _run_campaign_command(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 
@@ -137,18 +332,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(error.args[0], file=sys.stderr)
         return 2
 
+    store = None
+    if args.store is not None:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
     out_dir = args.out if args.out is not None else DEFAULT_OUTPUT_DIR
-    context = ExperimentContext(scale=args.scale, workers=args.workers)
-    for experiment in experiments:
-        started = time.perf_counter()
-        output = experiment.execute(context)
-        elapsed = time.perf_counter() - started
-        path = output.write(out_dir)
-        if not args.quiet:
-            print(output.text)
-            print()
-        where = f" -> {path}" if path else ""
-        print(f"[{experiment.name}] done in {elapsed:.1f}s{where}", file=sys.stderr)
+    context = ExperimentContext(
+        scale=args.scale,
+        workers=args.workers,
+        seed=args.seed,
+        force=args.force,
+        store=store,
+    )
+    try:
+        for experiment in experiments:
+            started = time.perf_counter()
+            output = experiment.execute(context)
+            elapsed = time.perf_counter() - started
+            path = output.write(out_dir)
+            if not args.quiet:
+                print(output.text)
+                print()
+            where = f" -> {path}" if path else ""
+            print(f"[{experiment.name}] done in {elapsed:.1f}s{where}", file=sys.stderr)
+        if store is not None:
+            print(
+                f"[store] {args.store}: {len(store)} entries, "
+                f"{store.hits} hits, {store.misses} misses",
+                file=sys.stderr,
+            )
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 

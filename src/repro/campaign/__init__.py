@@ -1,0 +1,75 @@
+"""Architectural fault-injection campaign engine.
+
+This package turns the codec-level fault experiments into what the paper
+actually argues about: soft errors landing in *live* DL1/L2 lines during
+real kernel runs, observed end to end — masking, correction, detection,
+propagation into the memory image (SDC) and pure timing deviations.
+
+* :mod:`repro.campaign.replay` — one injection: arm a
+  :class:`~repro.scenarios.spec.FaultSpec` in the cache arrays, replay
+  the kernel, classify architecturally against the golden run.
+* :mod:`repro.campaign.sampling` — deterministic stratified sampling of
+  (injection cycle × cache word × bit) points per kernel × policy.
+* :mod:`repro.campaign.engine` — the campaign driver: batching, Wilson
+  confidence intervals with early stopping, process-pool sharding, and
+  checkpoint/resume through the content-addressed
+  :class:`~repro.store.ResultStore`.
+* :mod:`repro.campaign.stats` — Wilson score intervals.
+
+Typical use::
+
+    from repro.campaign import CampaignConfig, run_campaign
+    from repro.store import ResultStore
+
+    config = CampaignConfig(kernels=("matrix", "pntrch"), trials=120)
+    with ResultStore("campaign.sqlite") as store:
+        result = run_campaign(config, store=store, resume=True)
+    print(result.render())
+"""
+
+from repro.campaign.engine import (
+    FIGURE8_POLICY_VALUES,
+    OUTCOME_KEYS,
+    CampaignConfig,
+    CampaignResult,
+    StratumSummary,
+    analytical_reference,
+    run_campaign,
+)
+from repro.campaign.replay import (
+    ArchInjectionResult,
+    ArchOutcome,
+    Dl1ContentModel,
+    RawWordCode,
+    dl1_code_for_policy,
+    run_injection,
+    simulate_faulty_spec,
+)
+from repro.campaign.sampling import (
+    KernelFaultSpace,
+    kernel_fault_space,
+    sample_faults,
+)
+from repro.campaign.stats import wilson_half_width, wilson_interval
+
+__all__ = [
+    "FIGURE8_POLICY_VALUES",
+    "OUTCOME_KEYS",
+    "ArchInjectionResult",
+    "ArchOutcome",
+    "CampaignConfig",
+    "CampaignResult",
+    "Dl1ContentModel",
+    "KernelFaultSpace",
+    "RawWordCode",
+    "StratumSummary",
+    "analytical_reference",
+    "dl1_code_for_policy",
+    "kernel_fault_space",
+    "run_campaign",
+    "run_injection",
+    "sample_faults",
+    "simulate_faulty_spec",
+    "wilson_half_width",
+    "wilson_interval",
+]

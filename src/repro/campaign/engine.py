@@ -1,0 +1,334 @@
+"""The statistical architectural fault-injection campaign engine.
+
+A campaign is a stratified sample over (kernel × policy × injection
+point): each stratum draws deterministic fault points
+(:mod:`repro.campaign.sampling`), replays them architecturally
+(:mod:`repro.campaign.replay`), aggregates outcome counts with Wilson
+confidence intervals (:mod:`repro.campaign.stats`), and optionally stops
+a stratum early once its intervals are tight enough.
+
+Execution is shardable (``workers=`` fans points out over a
+``ProcessPoolExecutor``; every worker reuses the per-process kernel
+trace cache) and resumable: with a :class:`~repro.store.ResultStore`
+attached, each point is keyed by the content hash of its full
+:class:`~repro.scenarios.spec.SimulationSpec` and a resumed campaign
+simulates only the points the store does not hold yet.  Because the
+sample sequence is prefix-deterministic and each point's outcome is
+deterministic, a resumed campaign renders byte-identical summaries.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import Table
+from repro.campaign.replay import ArchOutcome, run_injection
+from repro.campaign.sampling import sample_faults
+from repro.campaign.stats import DEFAULT_Z, wilson_half_width, wilson_interval
+from repro.core.policies import make_policy
+from repro.ecc.codec import EccCode
+from repro.ecc.reliability import ReliabilityModel
+from repro.scenarios.spec import SimulationSpec
+
+#: The four DL1 deployments compared in Figure 8, in paper order.
+FIGURE8_POLICY_VALUES = ("no-ecc", "extra-cycle", "extra-stage", "laec")
+
+OUTCOME_KEYS = tuple(outcome.value for outcome in ArchOutcome)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything one campaign needs (a plain, picklable value)."""
+
+    kernels: Tuple[str, ...]
+    policies: Tuple[str, ...] = FIGURE8_POLICY_VALUES
+    scale: float = 0.2
+    #: Maximum trials per stratum.
+    trials: int = 80
+    #: Points simulated between early-stopping checks.
+    batch: int = 20
+    #: Stop a stratum early once the Wilson half-width of both its SDC
+    #: and corrected rates drops to this value (None = never stop early).
+    ci_target: Optional[float] = None
+    ci_z: float = DEFAULT_Z
+    seed: int = 2019
+    #: Process-pool width (None = serial, 0 = one per CPU).
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValueError("a campaign needs at least one kernel")
+        if self.trials < 1 or self.batch < 1:
+            raise ValueError("trials and batch must be positive")
+        for value in self.policies:
+            make_policy(value)  # validates early, with a helpful error
+
+
+@dataclass
+class StratumSummary:
+    """Aggregated outcome counts of one kernel × policy stratum."""
+
+    kernel: str
+    policy: str
+    trials: int
+    counts: Dict[str, int]
+    early_stopped: bool = False
+
+    def rate(self, key: str) -> float:
+        return self.counts.get(key, 0) / self.trials if self.trials else 0.0
+
+    def interval(self, key: str, *, z: float = DEFAULT_Z) -> Tuple[float, float]:
+        return wilson_interval(self.counts.get(key, 0), self.trials, z=z)
+
+
+@dataclass
+class CampaignResult:
+    """The full outcome of one campaign run."""
+
+    config: CampaignConfig
+    strata: List[StratumSummary] = field(default_factory=list)
+    #: Store bookkeeping (not part of the rendered summary, which must
+    #: be byte-identical between fresh and resumed runs).
+    store_hits: int = 0
+    store_misses: int = 0
+    simulated: int = 0
+
+    @property
+    def points(self) -> int:
+        return sum(stratum.trials for stratum in self.strata)
+
+    def stratum(self, kernel: str, policy: str) -> StratumSummary:
+        for candidate in self.strata:
+            if candidate.kernel == kernel and candidate.policy == policy:
+                return candidate
+        raise KeyError(f"no stratum {kernel} x {policy}")
+
+    def policy_totals(self) -> Dict[str, Dict[str, int]]:
+        """Outcome counts summed over kernels, keyed by policy value."""
+        totals: Dict[str, Dict[str, int]] = {}
+        for stratum in self.strata:
+            bucket = totals.setdefault(
+                stratum.policy, {key: 0 for key in OUTCOME_KEYS}
+            )
+            bucket["trials"] = bucket.get("trials", 0) + stratum.trials
+            for key in OUTCOME_KEYS:
+                bucket[key] += stratum.counts.get(key, 0)
+        return totals
+
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        """Deterministic campaign summary (identical for resumed runs)."""
+        table = Table(
+            title=(
+                "Architectural fault-injection campaign "
+                f"(scale {self.config.scale:g}, seed {self.config.seed}, "
+                f"<= {self.config.trials} trials/stratum)"
+            ),
+            columns=[
+                "kernel",
+                "policy",
+                "trials",
+                "masked %",
+                "corrected %",
+                "detected %",
+                "SDC %",
+                "timing %",
+                "SDC 95% CI",
+            ],
+        )
+        for stratum in self.strata:
+            low, high = stratum.interval("sdc", z=self.config.ci_z)
+            table.add_row(
+                kernel=stratum.kernel,
+                policy=stratum.policy + ("*" if stratum.early_stopped else ""),
+                trials=stratum.trials,
+                **{
+                    "masked %": 100.0 * stratum.rate("masked"),
+                    "corrected %": 100.0 * stratum.rate("corrected"),
+                    "detected %": 100.0 * stratum.rate("detected"),
+                    "SDC %": 100.0 * stratum.rate("sdc"),
+                    "timing %": 100.0 * stratum.rate("timing"),
+                    "SDC 95% CI": f"[{100.0 * low:.1f}, {100.0 * high:.1f}]",
+                },
+            )
+        note = (
+            "* = stratum stopped early at the requested CI half-width.\n"
+            "Faults are single bit flips landing in live DL1 lines during the\n"
+            "run; outcomes are classified architecturally against the golden\n"
+            "functional trace (masked / corrected / detected / SDC / timing)."
+        )
+        return table.render(float_format="{:.1f}") + "\n" + note
+
+
+def _simulate_point(spec: SimulationSpec) -> Dict[str, object]:
+    """Worker-side job: one architectural injection, payload out.
+
+    Module-level so it pickles for :class:`ProcessPoolExecutor`; the
+    golden program/trace come from the worker's kernel-trace cache.
+    """
+    return run_injection(spec).payload()
+
+
+def _dl1_code_instance(policy_value: str) -> EccCode:
+    from repro.campaign.replay import dl1_code_for_policy
+
+    return dl1_code_for_policy(make_policy(policy_value))
+
+
+def analytical_reference(
+    policies: Sequence[str], *, bit_upset_rate_per_hour: float = 1e-9
+) -> Dict[str, Dict[str, float]]:
+    """Per-policy analytical prediction to print next to empirical rates.
+
+    ``codec_sdc_bound`` is the code-level SDC probability of a single
+    flip (1 for the unprotected array, 0 for detecting/correcting
+    codes); architectural masking can only push the observed rate
+    *below* it.  ``array_failures_per_1e9h`` is the
+    :class:`~repro.ecc.reliability.ReliabilityModel` array-level unsafe
+    failure rate for a 16 KiB DL1, which fixes the expected ordering
+    between the policies.
+    """
+    reference: Dict[str, Dict[str, float]] = {}
+    for value in policies:
+        policy = make_policy(value)
+        code = _dl1_code_instance(value)
+        model = ReliabilityModel(
+            words=16 * 1024 // 4, bit_upset_rate_per_hour=bit_upset_rate_per_hour
+        )
+        if policy.corrects_errors:
+            corrected, detected, sdc = 1.0, 0.0, 0.0
+        elif policy.detects_errors:
+            corrected, detected, sdc = 0.0, 1.0, 0.0
+        else:
+            corrected, detected, sdc = 0.0, 0.0, 1.0
+        reference[value] = {
+            "codec_corrected": corrected,
+            "codec_detected": detected,
+            "codec_sdc_bound": sdc,
+            "array_failures_per_1e9h": model.failures_in_time(code, hours=1e9),
+        }
+    return reference
+
+
+def run_campaign(
+    config: CampaignConfig,
+    *,
+    store=None,
+    resume: bool = False,
+) -> CampaignResult:
+    """Run (or resume) one stratified architectural campaign.
+
+    ``store`` is an optional :class:`~repro.store.ResultStore`; computed
+    points are always written to it.  With ``resume=True`` points whose
+    spec hash is already stored are *not* re-simulated — their stored
+    outcome is reused — which is what turns a half-finished campaign
+    into an incremental one.
+    """
+    workers = config.workers
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    result = CampaignResult(config=config)
+    executor = (
+        ProcessPoolExecutor(max_workers=workers)
+        if workers is not None and workers > 1
+        else None
+    )
+    try:
+        for kernel in config.kernels:
+            for policy_value in config.policies:
+                stratum = _run_stratum(
+                    config,
+                    kernel,
+                    policy_value,
+                    store=store,
+                    resume=resume,
+                    executor=executor,
+                    result=result,
+                )
+                result.strata.append(stratum)
+    finally:
+        if executor is not None:
+            executor.shutdown()
+    return result
+
+
+def _run_stratum(
+    config: CampaignConfig,
+    kernel: str,
+    policy_value: str,
+    *,
+    store,
+    resume: bool,
+    executor,
+    result: CampaignResult,
+) -> StratumSummary:
+    from repro.store import canonical_json, spec_hash
+
+    counts: Dict[str, int] = {key: 0 for key in OUTCOME_KEYS}
+    done = 0
+    early = False
+    while done < config.trials and not early:
+        batch_size = min(config.batch, config.trials - done)
+        faults = sample_faults(
+            kernel,
+            config.scale,
+            policy_value,
+            batch_size,
+            seed=config.seed,
+            start=done,
+        )
+        if not faults:
+            break
+        specs = [
+            SimulationSpec(
+                kernel=kernel, scale=config.scale, policy=policy_value, fault=fault
+            )
+            for fault in faults
+        ]
+        keys = [spec_hash(spec) for spec in specs]
+        payloads: List[Optional[Dict[str, object]]] = [None] * len(specs)
+        to_run: List[int] = []
+        for index, key in enumerate(keys):
+            stored = store.get(key) if (store is not None and resume) else None
+            if stored is not None:
+                payloads[index] = stored
+                result.store_hits += 1
+            else:
+                to_run.append(index)
+        if to_run:
+            pending = [specs[index] for index in to_run]
+            if executor is not None:
+                computed = list(executor.map(_simulate_point, pending))
+            else:
+                computed = [_simulate_point(spec) for spec in pending]
+            for index, payload in zip(to_run, computed):
+                payloads[index] = payload
+                result.simulated += 1
+                if store is not None:
+                    result.store_misses += 1
+                    store.put(
+                        keys[index],
+                        payload,
+                        spec_json=canonical_json(specs[index]),
+                        kind="injection",
+                    )
+        for payload in payloads:
+            counts[str(payload["outcome"])] += 1
+        done += len(faults)
+        if config.ci_target is not None and done >= config.batch:
+            half_sdc = wilson_half_width(counts["sdc"], done, z=config.ci_z)
+            half_corrected = wilson_half_width(
+                counts["corrected"], done, z=config.ci_z
+            )
+            if max(half_sdc, half_corrected) <= config.ci_target:
+                early = True
+    return StratumSummary(
+        kernel=kernel,
+        policy=policy_value,
+        trials=done,
+        counts=counts,
+        early_stopped=early,
+    )

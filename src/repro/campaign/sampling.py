@@ -1,0 +1,129 @@
+"""Stratified fault-point sampling.
+
+A campaign samples injection points per stratum (one stratum per
+kernel × policy pair): an injection ordinal uniform over the kernel's
+DL1 data accesses, a word address uniform over the words the kernel has
+touched *before* that ordinal (the plausible-resident population — words
+it has not touched yet occupy no line, so flips aimed at them model
+upsets landing in unoccupied parts of the array), and a bit position
+uniform over the policy's DL1 codeword width.
+
+Sampling is **prefix-deterministic**: the i-th point of a stratum
+depends only on the campaign seed and the stratum identity, never on
+batch sizes or early stopping.  That property is what makes checkpoint /
+resume sound — a resumed campaign regenerates exactly the points the
+killed campaign would have run, finds the finished ones in the store by
+content hash, and simulates only the rest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.caching import lru_get, lru_put
+from repro.core.policies import make_policy
+from repro.scenarios.spec import FaultSpec
+
+
+@dataclass(frozen=True)
+class KernelFaultSpace:
+    """The sampleable population of one kernel at one scale."""
+
+    #: Total DL1 data accesses (loads + stores) of the golden run.
+    mem_ops: int
+    #: Distinct word addresses in first-touch order.
+    first_touch: Tuple[int, ...]
+    #: ``distinct_before[i]`` = number of distinct words touched by the
+    #: first ``i`` memory operations (length ``mem_ops + 1``).
+    distinct_before: Tuple[int, ...]
+
+
+_SPACE_CACHE: Dict[Tuple[str, float], KernelFaultSpace] = {}
+_SPACE_CACHE_MAX = 32
+
+
+def kernel_fault_space(kernel: str, scale: float) -> KernelFaultSpace:
+    """Build (or fetch) the fault-sampling population of one kernel."""
+    key = (kernel, scale)
+    cached = lru_get(_SPACE_CACHE, key)
+    if cached is not None:
+        return cached
+    from repro.experiments.runner import cached_kernel_trace
+
+    _, trace = cached_kernel_trace(kernel, scale)
+    seen = set()
+    first_touch: List[int] = []
+    distinct_before: List[int] = [0]
+    for dyn in trace.instructions:
+        if dyn.address is None:
+            continue
+        word = dyn.address & ~0x3
+        if word not in seen:
+            seen.add(word)
+            first_touch.append(word)
+        distinct_before.append(len(seen))
+    space = KernelFaultSpace(
+        mem_ops=len(distinct_before) - 1,
+        first_touch=tuple(first_touch),
+        distinct_before=tuple(distinct_before),
+    )
+    lru_put(_SPACE_CACHE, key, space, _SPACE_CACHE_MAX)
+    return space
+
+
+def policy_codeword_bits(policy_value: str) -> int:
+    """Width of the DL1 codeword stored under ``policy_value``."""
+    policy = make_policy(policy_value)
+    if policy.dl1_code_name is None:
+        return 32
+    from repro.ecc.codec import get_code
+
+    return get_code(policy.dl1_code_name).total_bits
+
+
+def stratum_rng(seed: int, kernel: str, policy_value: str) -> random.Random:
+    """The deterministic RNG of one stratum (independent of all others)."""
+    return random.Random(f"campaign:{seed}:{kernel}:{policy_value}")
+
+
+def sample_faults(
+    kernel: str,
+    scale: float,
+    policy_value: str,
+    count: int,
+    *,
+    seed: int,
+    start: int = 0,
+) -> List[FaultSpec]:
+    """Points ``start .. start+count`` of one stratum's sample sequence.
+
+    Regenerates the sequence from the beginning (draws are cheap), so
+    any ``(start, count)`` window of the same stratum always yields the
+    same points — the resume invariant.
+    """
+    space = kernel_fault_space(kernel, scale)
+    total_bits = policy_codeword_bits(policy_value)
+    rng = stratum_rng(seed, kernel, policy_value)
+    points: List[FaultSpec] = []
+    if space.mem_ops == 0:
+        return points
+    for index in range(start + count):
+        at_access = rng.randint(1, space.mem_ops)
+        population = space.distinct_before[at_access - 1]
+        if population:
+            word = space.first_touch[rng.randrange(population)]
+        else:
+            # Nothing resident yet: aim at the first word the kernel
+            # will touch — the flip lands in an unoccupied line and is
+            # architecturally masked, modelling spatially wasted upsets.
+            word = space.first_touch[0]
+        bit = rng.randrange(total_bits)
+        if index >= start:
+            points.append(
+                FaultSpec(
+                    target="dl1", word_address=word, bit=bit, at_access=at_access
+                )
+            )
+    return points

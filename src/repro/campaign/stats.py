@@ -1,0 +1,42 @@
+"""Statistical helpers for sampled fault-injection campaigns.
+
+A campaign estimates per-stratum outcome *rates* (SDC, corrected, ...)
+from a finite sample, so every reported rate carries a Wilson score
+interval — the standard small-sample binomial interval, well behaved at
+rates of exactly 0 or 1 (which the SECDED strata hit by design).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+#: Two-sided z value for a 95 % interval, the campaign default.
+DEFAULT_Z = 1.96
+
+
+def wilson_interval(successes: int, trials: int, *, z: float = DEFAULT_Z) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)``; ``(0.0, 1.0)`` when ``trials`` is zero (no
+    information).  Monotone in ``successes`` and always within [0, 1].
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    if successes < 0 or successes > trials:
+        raise ValueError(f"successes {successes} outside [0, {trials}]")
+    n = float(trials)
+    p = successes / n
+    z2 = z * z
+    denominator = 1.0 + z2 / n
+    centre = p + z2 / (2.0 * n)
+    margin = z * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    low = (centre - margin) / denominator
+    high = (centre + margin) / denominator
+    return (max(0.0, low), min(1.0, high))
+
+
+def wilson_half_width(successes: int, trials: int, *, z: float = DEFAULT_Z) -> float:
+    """Half the width of the Wilson interval (the early-stopping metric)."""
+    low, high = wilson_interval(successes, trials, z=z)
+    return (high - low) / 2.0

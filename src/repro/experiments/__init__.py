@@ -16,6 +16,10 @@ module                          paper artefact
 ``ablation_hazards``            LAEC hazard breakdown (§IV-A discussion)
 ``ablation_sensitivity``        sensitivity of Figure 8 to Table II stats
 ``fault_campaign``              SECDED correction/detection guarantees
+``campaign_summary``            architectural injection campaign vs the
+                                analytical reliability model (wraps
+                                :mod:`repro.campaign`; registered in
+                                :mod:`repro.experiments.catalog`)
 ==============================  =======================================
 
 Each driver module exposes ``run(...)``/``render(...)``; the uniform

@@ -37,19 +37,41 @@ class ExperimentContext:
     (``None`` = serial, ``0`` = one worker per CPU).  Results are
     deterministic either way, so artefacts are byte-identical regardless
     of parallelism.
+
+    ``seed`` overrides the RNG seed of the experiments that draw random
+    trials (``fault_campaign``, ``campaign_summary``); ``None`` keeps
+    each experiment's committed default, so artefacts stay
+    byte-identical.  ``store`` attaches a
+    :class:`~repro.store.ResultStore` as a cross-process result cache,
+    and ``force`` bypasses every cache layer (in-memory run set *and*
+    store reads) so stored results can be validated against fresh
+    simulations.
     """
 
     scale: float = DEFAULT_CAMPAIGN_SCALE
     workers: Optional[int] = None
+    seed: Optional[int] = None
+    force: bool = False
+    store: Optional[object] = None
     _runner: Optional[ExperimentRunner] = field(default=None, repr=False)
+    _force_pending: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._force_pending = self.force
 
     def runner(self) -> ExperimentRunner:
         if self._runner is None:
-            self._runner = ExperimentRunner(scale=self.scale, max_workers=self.workers)
+            self._runner = ExperimentRunner(
+                scale=self.scale, max_workers=self.workers, store=self.store
+            )
         return self._runner
 
     def run_set(self) -> KernelRunSet:
-        return self.runner().run_all()
+        # ``force`` applies to the first build only: later consumers of
+        # the same context share the freshly recomputed matrix.
+        run_set = self.runner().run_all(force=self._force_pending)
+        self._force_pending = False
+        return run_set
 
 
 @dataclass

@@ -26,6 +26,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core.caching import lru_get, lru_put
 from repro.core.policies import EccPolicyKind
 from repro.functional.simulator import FunctionalTrace, run_program
 from repro.isa.program import Program
@@ -49,8 +50,10 @@ _KERNEL_CACHE: Dict[Tuple[str, float], Tuple[Program, FunctionalTrace]] = {}
 #: Upper bound on cached (kernel, scale) traces.  The full campaign needs
 #: 16 (one per kernel at one scale); the cap keeps long-lived processes
 #: sweeping many scales from accumulating traces without bound.  Eviction
-#: is insertion-ordered (oldest first), which matches campaign access
-#: patterns: a sweep finishes one scale before starting the next.
+#: is least-recently-used: every hit moves its entry to the back of the
+#: (insertion-ordered) dict, so the hottest traces survive long fault
+#: campaigns that cycle through many scales — FIFO would evict exactly
+#: the traces every stratum keeps coming back to.
 KERNEL_TRACE_CACHE_MAX_ENTRIES = 48
 
 
@@ -60,18 +63,17 @@ def cached_kernel_trace(name: str, scale: float) -> Tuple[Program, FunctionalTra
     The cache key is ``(name, scale)``: the functional behaviour of a
     kernel depends on nothing else, and in particular not on the ECC
     policy or pipeline configuration being timed.  The cache holds at
-    most :data:`KERNEL_TRACE_CACHE_MAX_ENTRIES` traces; the oldest entry
-    is evicted when a new one would exceed the cap.
+    most :data:`KERNEL_TRACE_CACHE_MAX_ENTRIES` traces; the
+    least-recently-used entry is evicted when a new one would exceed the
+    cap (a hit refreshes an entry's recency).
     """
     key = (name, scale)
-    cached = _KERNEL_CACHE.get(key)
+    cached = lru_get(_KERNEL_CACHE, key)
     if cached is None:
         program = build_kernel(name, scale=scale)
         trace = run_program(program)
         cached = (program, trace)
-        while len(_KERNEL_CACHE) >= KERNEL_TRACE_CACHE_MAX_ENTRIES:
-            _KERNEL_CACHE.pop(next(iter(_KERNEL_CACHE)))
-        _KERNEL_CACHE[key] = cached
+        lru_put(_KERNEL_CACHE, key, cached, KERNEL_TRACE_CACHE_MAX_ENTRIES)
     return cached
 
 
@@ -146,6 +148,14 @@ class ExperimentRunner:
     deterministic.  ``max_workers=0`` picks :func:`os.cpu_count`.  The
     default (``None``) stays serial, which is the right call for a single
     small kernel set or when the caller is already parallel.
+
+    ``store`` (a :class:`~repro.store.ResultStore`) opts into the
+    cross-process result cache: timing results found under their spec
+    hash are reconstructed instead of re-simulated (the functional trace
+    is re-attached from the kernel-trace cache), and fresh results are
+    written back.  ``run_all(force=True)`` bypasses both the in-memory
+    run set *and* store reads — results are recomputed and the store is
+    refreshed, which is how a stored campaign is validated.
     """
 
     def __init__(
@@ -155,6 +165,7 @@ class ExperimentRunner:
         kernels: Optional[Iterable[str]] = None,
         policies: Iterable[EccPolicyKind] = FIGURE8_POLICIES,
         max_workers: Optional[int] = None,
+        store=None,
     ) -> None:
         self.scale = scale
         self.kernels = list(kernels) if kernels is not None else list(KERNEL_NAMES)
@@ -162,45 +173,117 @@ class ExperimentRunner:
         if max_workers == 0:
             max_workers = os.cpu_count() or 1
         self.max_workers = max_workers
+        self.store = store
         self._run_set: Optional[KernelRunSet] = None
 
     def run_all(self, *, force: bool = False) -> KernelRunSet:
-        """Simulate every kernel under every policy (cached)."""
+        """Simulate every kernel under every policy (cached).
+
+        ``force=True`` recomputes everything: the memoised run set is
+        discarded and, when a store is attached, stored results are
+        ignored on read (but refreshed on write).
+        """
         if self._run_set is not None and not force:
             return self._run_set
         workers = self.max_workers or 1
         if workers > 1 and len(self.kernels) > 1:
-            run_set = self._run_parallel(min(workers, len(self.kernels)))
+            run_set = self._run_parallel(
+                min(workers, len(self.kernels)), read_store=not force
+            )
         else:
-            run_set = self._run_serial()
+            run_set = self._run_serial(read_store=not force)
         self._run_set = run_set
         return run_set
 
     # ------------------------------------------------------------------ #
-    def _run_serial(self) -> KernelRunSet:
+    def _simulate_stored(self, spec, program, trace, *, read_store: bool):
+        """One spec through the store-aware path (used by the serial run)."""
+        if self.store is None:
+            return simulate_spec(spec, program=program, trace=trace)
+        if read_store:
+            return simulate_spec(spec, program=program, trace=trace, store=self.store)
+        from repro.store import store_timing_result
+
+        result = simulate_spec(spec, program=program, trace=trace)
+        store_timing_result(self.store, spec, result)
+        return result
+
+    def _run_serial(self, *, read_store: bool = True) -> KernelRunSet:
         run_set = KernelRunSet(scale=self.scale)
         for name in self.kernels:
             program, trace = cached_kernel_trace(name, self.scale)
             per_policy: Dict[str, SimulationResult] = {}
             for policy in self.policies:
                 spec = SimulationSpec(kernel=name, scale=self.scale, policy=policy)
-                per_policy[policy.value] = simulate_spec(
-                    spec, program=program, trace=trace
+                per_policy[policy.value] = self._simulate_stored(
+                    spec, program, trace, read_store=read_store
                 )
             run_set.results[name] = per_policy
         return run_set
 
-    def _run_parallel(self, workers: int) -> KernelRunSet:
+    def _run_parallel(self, workers: int, *, read_store: bool = True) -> KernelRunSet:
         policy_values = tuple(policy.value for policy in self.policies)
-        tasks = [(name, self.scale, policy_values) for name in self.kernels]
         run_set = KernelRunSet(scale=self.scale)
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            # ``map`` preserves submission order, so results land in
-            # ``self.kernels`` order no matter which worker finishes first.
-            for name, trace, per_policy in executor.map(_simulate_kernel_task, tasks):
-                for result in per_policy.values():
-                    result.trace = trace
-                run_set.results[name] = {
-                    value: per_policy[value] for value in policy_values
-                }
+        # With a store attached, stored (kernel, policy) results are
+        # reconstructed in the parent at per-policy granularity; workers
+        # (which do not share the parent's SQLite connection) only
+        # compute the genuinely missing policies of each kernel.
+        restored: Dict[str, Dict[str, SimulationResult]] = {}
+        missing: Dict[str, Tuple[str, ...]] = {}
+        if self.store is not None and read_store:
+            for name in self.kernels:
+                row, absent = self._restore_kernel_row(name, policy_values)
+                restored[name] = row
+                if absent:
+                    missing[name] = absent
+        else:
+            missing = {name: policy_values for name in self.kernels}
+            restored = {name: {} for name in self.kernels}
+        tasks = [(name, self.scale, missing[name]) for name in self.kernels if name in missing]
+        if tasks:
+            with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as executor:
+                # ``map`` preserves submission order, so results land in
+                # ``self.kernels`` order no matter which worker finishes
+                # first.
+                for name, trace, per_policy in executor.map(
+                    _simulate_kernel_task, tasks
+                ):
+                    for result in per_policy.values():
+                        result.trace = trace
+                        if self.store is not None:
+                            from repro.store import store_timing_result
+
+                            store_timing_result(self.store, result.spec, result)
+                    restored[name].update(per_policy)
+        for name in self.kernels:
+            run_set.results[name] = {
+                value: restored[name][value] for value in policy_values
+            }
         return run_set
+
+    def _restore_kernel_row(self, name: str, policy_values):
+        """Rebuild whatever the store holds of one kernel's policy row.
+
+        Returns ``(restored, missing)``: the per-policy results that
+        could be reconstructed (functional trace re-attached) and the
+        policy values that still need simulating.
+        """
+        from repro.store import result_from_payload, spec_hash
+
+        payloads = {}
+        specs = {}
+        for value in policy_values:
+            spec = SimulationSpec(kernel=name, scale=self.scale, policy=value)
+            payload = self.store.get(spec_hash(spec))
+            if payload is not None:
+                specs[value] = spec
+                payloads[value] = payload
+        missing = tuple(value for value in policy_values if value not in payloads)
+        if not payloads:
+            return {}, missing
+        _, trace = cached_kernel_trace(name, self.scale)
+        restored = {
+            value: result_from_payload(specs[value], payloads[value], trace=trace)
+            for value in payloads
+        }
+        return restored, missing

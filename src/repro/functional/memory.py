@@ -92,3 +92,23 @@ class FlatMemory:
     def touched_pages(self) -> int:
         """Number of allocated pages (useful for footprint diagnostics)."""
         return len(self._pages)
+
+    # ------------------------------------------------------------------ #
+    # comparison                                                         #
+    # ------------------------------------------------------------------ #
+    def same_contents(self, other: "FlatMemory") -> bool:
+        """Whether both memories hold identical architectural contents.
+
+        Pages absent on one side compare equal to all-zero pages on the
+        other (an allocated-but-zero page is architecturally identical
+        to an untouched one), so the comparison is about *contents*, not
+        allocation history.  Used by the fault-injection campaign to
+        decide whether corrupted data reached the final memory image.
+        """
+        zero = bytes(PAGE_SIZE)
+        for page_number in self._pages.keys() | other._pages.keys():
+            mine = bytes(self._pages.get(page_number, zero))
+            theirs = bytes(other._pages.get(page_number, zero))
+            if mine != theirs:
+                return False
+        return True

@@ -5,6 +5,13 @@ hits, misses and dirty evictions so the hierarchy can charge the right
 latencies.  An optional per-word ECC shadow array (used by the DL1 when
 fault injection is enabled) stores encoded words so reliability
 experiments can corrupt and decode genuine cache contents.
+
+For architectural fault-injection campaigns (:mod:`repro.campaign`) the
+cache also exposes *injection hooks*: :meth:`SetAssociativeCache.arm_fault`
+arms one single-event upset that lands right before the N-th access
+after arming, flipping one bit of the stored codeword of a resident
+word.  The trigger is a single predictable branch on the access path, so
+unarmed runs (every ordinary timing simulation) pay nothing for it.
 """
 
 from __future__ import annotations
@@ -28,10 +35,33 @@ class CacheAccessResult:
     writeback: bool = False
     writeback_address: Optional[int] = None
     allocated: bool = False
+    #: Line address of the valid victim this access replaced (set for
+    #: clean evictions too, unlike ``writeback_address``); ``None`` when
+    #: the fill used an invalid way or no line was brought in.
+    evicted_address: Optional[int] = None
 
     @property
     def miss(self) -> bool:
         return not self.hit
+
+
+@dataclass
+class ArmedFault:
+    """One armed single-event upset plus what happened when it landed."""
+
+    word_address: int
+    bit: int
+    #: 1-based ordinal (counted from arming) of the access right before
+    #: which the upset lands.
+    at_access: int
+    triggered: bool = False
+    #: Whether the word's line was valid in the array when the fault landed.
+    resident: bool = False
+    #: Whether that line was dirty at that moment.
+    dirty: bool = False
+    #: Whether a stored codeword was actually corrupted (requires the
+    #: word to be resident *and* present in the ECC shadow array).
+    flipped: bool = False
 
 
 @dataclass
@@ -109,6 +139,10 @@ class SetAssociativeCache:
         # Optional ECC shadow: word address -> stored codeword.
         self.ecc_code = ecc_code
         self._ecc_array: Dict[int, int] = {}
+        # Armed single-event upset (see arm_fault); None keeps the access
+        # path trigger-free apart from one predictable branch.
+        self._armed_fault: Optional[ArmedFault] = None
+        self._accesses_since_arm = 0
 
     # ------------------------------------------------------------------ #
     # address helpers                                                    #
@@ -142,6 +176,11 @@ class SetAssociativeCache:
         Returns the timing-relevant outcome; the caller (hierarchy) is
         responsible for charging miss and writeback latencies.
         """
+        armed = self._armed_fault
+        if armed is not None:
+            self._accesses_since_arm += 1
+            if not armed.triggered and self._accesses_since_arm >= armed.at_access:
+                self._trigger_fault(armed)
         tag, set_index, _ = self.split_address(address)
         lines = self._sets[set_index]
         replacement = self._replacement[set_index]
@@ -171,9 +210,10 @@ class SetAssociativeCache:
         victim_way = replacement.victim([line.valid for line in lines])
         victim = lines[victim_way]
         writeback = bool(victim.valid and victim.dirty)
-        writeback_address = (
-            self._rebuild_address(victim.tag, set_index) if writeback else None
+        evicted_address = (
+            self._rebuild_address(victim.tag, set_index) if victim.valid else None
         )
+        writeback_address = evicted_address if writeback else None
         if writeback:
             self.stats.writebacks += 1
         victim.valid = True
@@ -191,6 +231,7 @@ class SetAssociativeCache:
             writeback=writeback,
             writeback_address=writeback_address,
             allocated=True,
+            evicted_address=evicted_address,
         )
 
     def invalidate_all(self) -> None:
@@ -203,6 +244,23 @@ class SetAssociativeCache:
     def dirty_line_count(self) -> int:
         return sum(
             1 for lines in self._sets for line in lines if line.valid and line.dirty
+        )
+
+    def dirty_line_addresses(self) -> List[int]:
+        """Line addresses of every valid dirty line (sorted)."""
+        addresses = []
+        for set_index, lines in enumerate(self._sets):
+            for line in lines:
+                if line.valid and line.dirty:
+                    addresses.append(self._rebuild_address(line.tag, set_index))
+        return sorted(addresses)
+
+    def line_is_dirty(self, address: int) -> bool:
+        """Whether the valid line holding ``address`` is dirty."""
+        tag, set_index, _ = self.split_address(address)
+        return any(
+            line.valid and line.tag == tag and line.dirty
+            for line in self._sets[set_index]
         )
 
     def valid_line_count(self) -> int:
@@ -243,3 +301,56 @@ class SetAssociativeCache:
     def ecc_resident_words(self):
         """Word addresses currently holding an ECC shadow entry."""
         return sorted(self._ecc_array)
+
+    def ecc_load_raw(self, address: int) -> Optional[int]:
+        """The stored (possibly corrupted) codeword at ``address``, undecoded."""
+        return self._ecc_array.get(address & ~0x3)
+
+    def ecc_take_word(self, address: int) -> Optional[int]:
+        """Remove and return the raw codeword at ``address`` (eviction)."""
+        return self._ecc_array.pop(address & ~0x3, None)
+
+    # ------------------------------------------------------------------ #
+    # fault-injection hooks (architectural campaigns)                    #
+    # ------------------------------------------------------------------ #
+    def arm_fault(self, word_address: int, bit: int, at_access: int) -> ArmedFault:
+        """Arm one single-event upset against this cache's data array.
+
+        The upset lands immediately *before* the ``at_access``-th access
+        (1-based, counted from this call), flipping ``bit`` of the
+        stored codeword at ``word_address`` — but only if that word's
+        line is resident at that moment; a flip landing on an invalid
+        line (or on a physical location holding another tag) corrupts no
+        live data and the returned record says so.  Only one fault can
+        be armed at a time; re-arming replaces the previous fault.
+        """
+        if self.ecc_code is not None and not 0 <= bit < self.ecc_code.total_bits:
+            raise ValueError(
+                f"bit {bit} outside the {self.ecc_code.total_bits}-bit codeword"
+            )
+        armed = ArmedFault(
+            word_address=word_address & ~0x3, bit=bit, at_access=at_access
+        )
+        self._armed_fault = armed
+        self._accesses_since_arm = 0
+        return armed
+
+    def armed_fault(self) -> Optional[ArmedFault]:
+        """The currently armed fault record (also after it triggered)."""
+        return self._armed_fault
+
+    def disarm_fault(self) -> None:
+        self._armed_fault = None
+        self._accesses_since_arm = 0
+
+    def _trigger_fault(self, armed: ArmedFault) -> None:
+        armed.triggered = True
+        tag, set_index, _ = self.split_address(armed.word_address)
+        for line in self._sets[set_index]:
+            if line.valid and line.tag == tag:
+                armed.resident = True
+                armed.dirty = line.dirty
+                break
+        if armed.resident and armed.word_address in self._ecc_array:
+            self._ecc_array[armed.word_address] ^= 1 << armed.bit
+            armed.flipped = True

@@ -21,9 +21,10 @@ from repro.scenarios.registry import (
     scenario_description,
     scenario_names,
 )
-from repro.scenarios.spec import SimulationSpec
+from repro.scenarios.spec import FaultSpec, SimulationSpec
 
 __all__ = [
+    "FaultSpec",
     "InterferenceScenario",
     "SimulationSpec",
     "get_scenario",

@@ -25,6 +25,48 @@ from repro.scenarios.interference import InterferenceScenario
 
 PolicyLike = Union[str, EccPolicyKind, EccPolicy]
 
+#: Cache arrays a :class:`FaultSpec` can target.
+FAULT_TARGETS = ("dl1", "l2")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One architectural soft error: a single bit flip in a cache array.
+
+    The fault is *armed* before the run starts and lands right before the
+    ``at_access``-th DL1 data access of the run (a deterministic proxy
+    for the injection cycle: the DL1 access ordinal is a bijective
+    function of simulated time for a fixed spec).  ``word_address`` is
+    the word-aligned byte address whose stored codeword is hit and
+    ``bit`` the position within that codeword (data bits low, check bits
+    above — see :mod:`repro.ecc.codec`).  If the word is not resident in
+    the targeted array when the fault lands, the upset hits a bit
+    holding no live data and the run is architecturally masked.
+    """
+
+    target: str = "dl1"
+    word_address: int = 0
+    bit: int = 0
+    at_access: int = 1
+
+    def __post_init__(self) -> None:
+        if self.target not in FAULT_TARGETS:
+            raise ValueError(
+                f"unknown fault target {self.target!r}; expected one of {FAULT_TARGETS}"
+            )
+        if self.word_address % 4:
+            raise ValueError("fault word_address must be word (4-byte) aligned")
+        if self.bit < 0:
+            raise ValueError("fault bit position must be non-negative")
+        if self.at_access < 1:
+            raise ValueError("at_access is a 1-based access ordinal")
+
+    def describe(self) -> str:
+        return (
+            f"flip bit {self.bit} of {self.target} word {self.word_address:#x} "
+            f"before access #{self.at_access}"
+        )
+
 
 @dataclass(frozen=True)
 class SimulationSpec:
@@ -47,6 +89,10 @@ class SimulationSpec:
     core_index: int = 0
     chronogram_window: int = 0
     max_instructions: int = 5_000_000
+    #: Optional armed soft error (see :class:`FaultSpec`).  When set,
+    #: :func:`repro.simulation.simulate_spec` routes the run through the
+    #: architectural fault-injection replay in :mod:`repro.campaign`.
+    fault: Optional[FaultSpec] = None
 
     # -- derived views -------------------------------------------------- #
     def resolved_policy(self) -> EccPolicy:
@@ -102,6 +148,9 @@ class SimulationSpec:
     def with_core(self, core_index: int) -> "SimulationSpec":
         return replace(self, core_index=core_index)
 
+    def with_fault(self, fault: Optional[FaultSpec]) -> "SimulationSpec":
+        return replace(self, fault=fault)
+
     def describe(self) -> str:
         workload = self.kernel or "<program>"
         scenario = (
@@ -109,8 +158,11 @@ class SimulationSpec:
             if self.interference is not None
             else "inherited contention"
         )
-        return (
+        text = (
             f"{workload} (scale {self.scale:g}) under "
             f"{self.resolved_policy().kind.value} on core{self.core_index}; "
             f"{scenario}"
         )
+        if self.fault is not None:
+            text += f"; {self.fault.describe()}"
+        return text

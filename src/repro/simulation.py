@@ -43,10 +43,19 @@ class SimulationResult:
     policy: EccPolicy
     trace: FunctionalTrace
     timing: PipelineResult
-    hierarchy: MemoryHierarchy
+    hierarchy: Optional[MemoryHierarchy]
     #: The declarative spec this result was produced from (``None`` only
     #: for results assembled by hand, e.g. in unit tests).
     spec: Optional[SimulationSpec] = None
+    #: Architectural fault-injection outcome
+    #: (:class:`repro.campaign.replay.ArchInjectionResult`) when the
+    #: spec armed a :class:`~repro.scenarios.FaultSpec`.
+    injection: Optional[object] = None
+    #: True when this result was reconstructed from a
+    #: :class:`~repro.store.ResultStore` payload rather than simulated
+    #: in this process (``hierarchy`` is then ``None`` and ``trace`` is
+    #: only present if the caller re-attached it).
+    from_store: bool = False
 
     @property
     def cycles(self) -> int:
@@ -92,6 +101,7 @@ def simulate_spec(
     *,
     program: Optional[Program] = None,
     trace: Optional[FunctionalTrace] = None,
+    store=None,
 ) -> SimulationResult:
     """Execute one declarative :class:`SimulationSpec`.
 
@@ -100,7 +110,38 @@ def simulate_spec(
     names no kernel); ``trace`` may be supplied to reuse a functional
     trace across policies — the architectural stream is identical under
     every ECC scheme by construction.
+
+    Two opt-in layers sit in front of the plain run:
+
+    * a spec with an armed :class:`~repro.scenarios.FaultSpec` is routed
+      through the architectural fault-injection replay
+      (:mod:`repro.campaign.replay`) — the returned result then times
+      the dynamic stream the *faulty* machine actually executed and
+      carries the injection classification in ``result.injection``;
+    * ``store`` (a :class:`~repro.store.ResultStore`) makes the call a
+      cross-process cache lookup: cacheable specs found in the store are
+      reconstructed without simulating, and fresh results are written
+      back under their content hash.
     """
+    if spec.fault is not None:
+        from repro.campaign.replay import simulate_faulty_spec
+
+        return simulate_faulty_spec(spec, program=program, trace=trace)
+    if store is not None:
+        from repro.store import (
+            cacheable,
+            result_from_payload,
+            spec_hash,
+            store_timing_result,
+        )
+
+        if cacheable(spec):
+            payload = store.get(spec_hash(spec))
+            if payload is not None:
+                return result_from_payload(spec, payload, trace=trace)
+            result = simulate_spec(spec, program=program, trace=trace)
+            store_timing_result(store, spec, result)
+            return result
     resolved_policy = spec.resolved_policy()
     if program is None:
         program = spec.build_program()

@@ -1,0 +1,44 @@
+"""Content-addressed, persistent result store.
+
+Results are keyed by the SHA-256 of the canonical JSON form of the
+:class:`~repro.scenarios.spec.SimulationSpec` that produced them — a
+pure content address, so identical work is never repeated across
+processes, campaign restarts or machines sharing a store file.
+
+* :mod:`repro.store.canonical` — canonical spec encoding, hashing and
+  the inverse (round-trip is tested for every registered scenario).
+* :mod:`repro.store.result_store` — the SQLite-backed key/JSON store
+  with hit/miss accounting.
+* :mod:`repro.store.serialize` — lossless timing-result payloads for
+  the :func:`repro.simulation.simulate_spec` / experiment-runner cache.
+"""
+
+from repro.store.canonical import (
+    SCHEMA_VERSION,
+    canonical_dict,
+    canonical_json,
+    canonical_policy_value,
+    spec_from_canonical,
+    spec_hash,
+)
+from repro.store.result_store import ResultStore
+from repro.store.serialize import (
+    cacheable,
+    payload_from_result,
+    result_from_payload,
+    store_timing_result,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "cacheable",
+    "canonical_dict",
+    "canonical_json",
+    "canonical_policy_value",
+    "payload_from_result",
+    "result_from_payload",
+    "spec_from_canonical",
+    "spec_hash",
+    "store_timing_result",
+]

@@ -1,0 +1,141 @@
+"""Persistent, content-addressed result store.
+
+One SQLite file holds one table of JSON payloads keyed by the canonical
+spec hash (:func:`repro.store.canonical.spec_hash`).  The store is the
+substrate for two features:
+
+* **campaign checkpoint / resume** — every finished injection point is
+  written under its spec hash, so a re-run only simulates missing
+  points;
+* an **opt-in cross-process result cache** for
+  :func:`repro.simulation.simulate_spec` / the experiment runner —
+  timing results keyed the same way survive process boundaries (unlike
+  the in-memory kernel-trace cache).
+
+SQLite keeps the implementation dependency-free, transactional and safe
+for one writer + many readers; each process opens its own connection.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sqlite3
+from typing import Dict, Iterator, Optional, Union
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key     TEXT PRIMARY KEY,
+    kind    TEXT NOT NULL DEFAULT '',
+    spec    TEXT NOT NULL DEFAULT '',
+    payload TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS results_kind ON results (kind);
+"""
+
+
+class ResultStore:
+    """Content-addressed JSON result store backed by SQLite.
+
+    ``path`` may be a filesystem path or ``":memory:"`` for an ephemeral
+    store (useful in tests).  The store counts its ``hits`` and
+    ``misses`` (lookups that found / did not find a payload) so callers
+    can assert resume behaviour.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            parent = pathlib.Path(self.path).resolve().parent
+            parent.mkdir(parents=True, exist_ok=True)
+        self._connection = sqlite3.connect(self.path)
+        # Concurrent campaigns sharing one store file: WAL lets readers
+        # proceed during a write, and the busy timeout makes competing
+        # writers queue instead of raising "database is locked".
+        # (":memory:" silently ignores the WAL request.)
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA busy_timeout=30000")
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # core mapping interface                                             #
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored payload for ``key``, or None (counted as hit/miss)."""
+        row = self._connection.execute(
+            "SELECT payload FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return json.loads(row[0])
+
+    def put(
+        self,
+        key: str,
+        payload: Dict[str, object],
+        *,
+        spec_json: str = "",
+        kind: str = "",
+    ) -> None:
+        """Insert or overwrite the payload stored under ``key``."""
+        self._connection.execute(
+            "INSERT OR REPLACE INTO results (key, kind, spec, payload) "
+            "VALUES (?, ?, ?, ?)",
+            (key, kind, spec_json, json.dumps(payload, sort_keys=True)),
+        )
+        self._connection.commit()
+
+    def spec_json(self, key: str) -> Optional[str]:
+        """The canonical spec recorded with ``key`` (provenance)."""
+        row = self._connection.execute(
+            "SELECT spec FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def __contains__(self, key: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        (count,) = self._connection.execute(
+            "SELECT COUNT(*) FROM results"
+        ).fetchone()
+        return int(count)
+
+    def count(self, kind: str) -> int:
+        (count,) = self._connection.execute(
+            "SELECT COUNT(*) FROM results WHERE kind = ?", (kind,)
+        ).fetchone()
+        return int(count)
+
+    def keys(self) -> Iterator[str]:
+        for (key,) in self._connection.execute(
+            "SELECT key FROM results ORDER BY key"
+        ):
+            yield key
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({self.path!r}, entries={len(self)})"

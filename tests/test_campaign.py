@@ -1,0 +1,491 @@
+"""Architectural fault-injection campaign: hooks, replay, engine, resume."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    ArchOutcome,
+    CampaignConfig,
+    run_campaign,
+    run_injection,
+    sample_faults,
+    simulate_faulty_spec,
+)
+from repro.ecc import HsiaoSecDedCode, get_code
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.config import CacheConfig
+from repro.memory.l2_cache import SharedL2Cache
+from repro.memory.main_memory import MainMemory
+from repro.scenarios import FaultSpec, SimulationSpec
+from repro.store import ResultStore
+
+
+# --------------------------------------------------------------------- #
+# injection hooks in the cache model                                    #
+# --------------------------------------------------------------------- #
+class TestCacheInjectionHooks:
+    def _cache(self):
+        return SetAssociativeCache(
+            CacheConfig(size_bytes=1024, line_bytes=32, ways=2, name="dl1"),
+            ecc_code=HsiaoSecDedCode(),
+        )
+
+    def test_fault_triggers_at_the_armed_ordinal(self):
+        cache = self._cache()
+        cache.ecc_store_word(0x40, 0x1234)
+        cache.access(0x40)  # make the line resident
+        armed = cache.arm_fault(0x40, bit=3, at_access=2)
+        cache.access(0x40)
+        assert not armed.triggered
+        cache.access(0x40)
+        assert armed.triggered and armed.resident and armed.flipped
+        decoded = cache.ecc_load_word(0x40)
+        assert decoded.corrected
+        assert decoded.data == 0x1234
+
+    def test_fault_on_non_resident_word_corrupts_nothing(self):
+        cache = self._cache()
+        cache.access(0x40)
+        armed = cache.arm_fault(0x2000, bit=0, at_access=1)
+        cache.access(0x80)
+        assert armed.triggered
+        assert not armed.resident and not armed.flipped
+
+    def test_bit_range_is_validated(self):
+        cache = self._cache()
+        with pytest.raises(ValueError):
+            cache.arm_fault(0x40, bit=39, at_access=1)
+
+    def test_access_reports_clean_evictions(self):
+        config = CacheConfig(size_bytes=64, line_bytes=32, ways=1, name="tiny")
+        cache = SetAssociativeCache(config)
+        cache.access(0x0)
+        result = cache.access(0x80)  # same set, evicts the clean 0x0 line
+        assert result.evicted_address == 0x0
+        assert not result.writeback
+
+    def test_l2_hook_delegates_and_corrects(self):
+        l2 = SharedL2Cache(
+            CacheConfig(size_bytes=2048, line_bytes=32, ways=2, name="l2"),
+            MainMemory(access_latency=10),
+            ecc_code=get_code("secded"),
+        )
+        l2.cache.ecc_store_word(0x100, 0xBEEF)
+        l2.access_cycles(0x100)
+        armed = l2.arm_fault(0x100, bit=7, at_access=1)
+        l2.access_cycles(0x100)
+        assert armed.triggered and armed.flipped
+        assert l2.armed_fault() is armed
+        decoded = l2.cache.ecc_load_word(0x100)
+        assert decoded.corrected and decoded.data == 0xBEEF
+
+
+# --------------------------------------------------------------------- #
+# architectural replay                                                  #
+# --------------------------------------------------------------------- #
+def _load_after_store_point(kernel: str, scale: float):
+    """A fault point aimed at a word that is stored then loaded again."""
+    from repro.experiments.runner import cached_kernel_trace
+
+    _, trace = cached_kernel_trace(kernel, scale)
+    stored = set()
+    ordinal = 0
+    for dyn in trace.instructions:
+        if dyn.address is None:
+            continue
+        ordinal += 1
+        word = dyn.address & ~0x3
+        if dyn.is_store:
+            stored.add(word)
+        elif word in stored and dyn.size == 4:
+            return word, ordinal
+    raise AssertionError(f"{kernel} has no load-after-store pattern")
+
+
+class TestArchitecturalReplay:
+    KERNEL = "canrdr"
+    SCALE = 0.1
+
+    def _spec(self, policy, bit=3):
+        word, at_access = _load_after_store_point(self.KERNEL, self.SCALE)
+        return SimulationSpec(
+            kernel=self.KERNEL,
+            scale=self.SCALE,
+            policy=policy,
+            fault=FaultSpec(word_address=word, bit=bit, at_access=at_access),
+        )
+
+    def test_unprotected_write_back_suffers_sdc(self):
+        result = run_injection(self._spec("no-ecc"))
+        assert result.triggered and result.resident and result.dirty_at_injection
+        assert result.outcome is ArchOutcome.SILENT_DATA_CORRUPTION
+
+    @pytest.mark.parametrize("policy", ["extra-cycle", "extra-stage", "laec"])
+    def test_secded_corrects_the_dirty_flip(self, policy):
+        result = run_injection(self._spec(policy))
+        assert result.outcome is ArchOutcome.CORRECTED
+        assert "load_corrected" in result.events
+        assert not result.diverged
+
+    def test_wt_parity_detects_and_refetches(self):
+        result = run_injection(self._spec("wt-parity"))
+        # Write-through keeps a clean L2 copy: detection is recoverable.
+        assert result.outcome is ArchOutcome.DETECTED
+        assert "load_detected_refetch" in result.events
+        assert not result.dirty_at_injection
+
+    def test_check_bit_flip_under_parity_is_detected_not_sdc(self):
+        # Bit 32 is the parity bit itself: flips there never corrupt data.
+        result = run_injection(self._spec("wt-parity", bit=32))
+        assert result.outcome in (ArchOutcome.DETECTED, ArchOutcome.MASKED)
+
+    def test_store_after_l2_injection_supersedes_the_stale_codeword(self):
+        # Regression: a pending L2 flip captured the *old* word's
+        # codeword; overwriting the backing word (write-through store or
+        # dirty writeback) must drop it, or a later refill would
+        # "correct" back to the stale pre-store value.
+        from repro.campaign.replay import Dl1ContentModel, dl1_code_for_policy
+        from repro.core.policies import make_policy
+        from repro.functional.memory import FlatMemory
+        from repro.memory.config import MemoryHierarchyConfig
+
+        policy = make_policy("wt-parity")
+        hierarchy = MemoryHierarchyConfig().with_write_through_l1d()
+        backing = FlatMemory()
+        backing.write(0x1000, 0x11111111, 4)
+        model = Dl1ContentModel(hierarchy, dl1_code_for_policy(policy), backing)
+        assert model.load(0x1000, 4) == 0x11111111  # line resident
+        model.inject_l2_fault(0x1000, bit=5)
+        model.store(0x1000, 0x22222222, 4)  # write-through supersedes
+        # Evict the line so the next load refills from backing.
+        line_bytes = hierarchy.l1d.line_bytes
+        for way in range(hierarchy.l1d.ways + 1):
+            model.load(0x1000 + way * hierarchy.l1d.sets * line_bytes, 4)
+        assert model.load(0x1000, 4) == 0x22222222
+
+    def test_l2_target_is_always_corrected(self):
+        word, at_access = _load_after_store_point(self.KERNEL, self.SCALE)
+        spec = SimulationSpec(
+            kernel=self.KERNEL,
+            scale=self.SCALE,
+            policy="no-ecc",
+            fault=FaultSpec(
+                target="l2", word_address=word, bit=2, at_access=at_access
+            ),
+        )
+        result = run_injection(spec)
+        # The paper's L2 is SECDED-protected: a single flip is healed on
+        # the next read (or never observed at all).
+        assert result.outcome in (ArchOutcome.CORRECTED, ArchOutcome.MASKED)
+        assert result.outcome is not ArchOutcome.SILENT_DATA_CORRUPTION
+
+    def test_corrupted_jump_target_crashes_detectably(self):
+        # A flipped high bit of a loaded function pointer sends the
+        # indirect jump outside the text segment: the machine traps, the
+        # outcome is DETECTED (never silent), and the partial dynamic
+        # stream is what gets reported/timed.
+        from repro.functional.simulator import run_program
+        from repro.isa.assembler import assemble
+        from repro.simulation import simulate_spec
+
+        program = assemble(
+            """
+.data
+ptr:
+    .word 0
+
+.text
+main:
+    set target, r5
+    set ptr, r1
+    st r5, [r1]
+    ld [r1], r2
+    ld [r1], r2
+    jmpl r2, 0, r7
+    halt
+target:
+    halt
+""",
+            name="jump_via_ptr",
+        )
+        trace = run_program(program)
+        ptr_word = next(d.address for d in trace.instructions if d.is_store) & ~0x3
+        # Inject before the *third* DL1 access (the second load of ptr).
+        spec = SimulationSpec(
+            policy="no-ecc",
+            fault=FaultSpec(word_address=ptr_word, bit=30, at_access=3),
+        )
+        injection = run_injection(spec, program=program, trace=trace)
+        assert "crash" in injection.events
+        assert injection.outcome is ArchOutcome.DETECTED
+        assert 0 < injection.faulty_instructions < len(trace)
+        result = simulate_spec(spec, program=program, trace=trace)
+        assert result.instructions == injection.faulty_instructions
+
+    def test_fault_after_program_end_is_masked(self):
+        spec = SimulationSpec(
+            kernel=self.KERNEL,
+            scale=self.SCALE,
+            policy="no-ecc",
+            fault=FaultSpec(word_address=0, bit=0, at_access=10_000_000),
+        )
+        result = run_injection(spec)
+        assert not result.triggered
+        assert result.outcome is ArchOutcome.MASKED
+
+    def test_simulate_spec_routes_fault_specs(self):
+        from repro.simulation import simulate_spec
+
+        spec = self._spec("extra-cycle")
+        result = simulate_spec(spec)
+        assert result.injection is not None
+        assert result.injection.outcome is ArchOutcome.CORRECTED
+        assert result.spec is spec
+        assert result.cycles > 0
+        # A non-diverging fault times the golden stream.
+        clean = simulate_spec(spec.with_fault(None))
+        assert result.cycles == clean.cycles
+
+    def test_divergent_fault_times_the_faulty_stream(self):
+        from repro.simulation import simulate_spec
+
+        spec = self._spec("no-ecc")
+        result = simulate_spec(spec)
+        assert result.injection.outcome is ArchOutcome.SILENT_DATA_CORRUPTION
+        assert result.injection.diverged
+        assert result.cycles > 0
+
+
+# --------------------------------------------------------------------- #
+# sampling                                                              #
+# --------------------------------------------------------------------- #
+class TestSampling:
+    def test_prefix_determinism(self):
+        whole = sample_faults("rspeed", 0.1, "laec", 10, seed=2019)
+        head = sample_faults("rspeed", 0.1, "laec", 4, seed=2019)
+        tail = sample_faults("rspeed", 0.1, "laec", 6, seed=2019, start=4)
+        assert head + tail == whole
+
+    def test_seed_and_stratum_independence(self):
+        a = sample_faults("rspeed", 0.1, "laec", 8, seed=2019)
+        b = sample_faults("rspeed", 0.1, "laec", 8, seed=7)
+        c = sample_faults("rspeed", 0.1, "no-ecc", 8, seed=2019)
+        assert a != b
+        assert [p.at_access for p in a] != [p.at_access for p in c] or a != c
+
+    def test_bits_respect_the_policy_codeword_width(self):
+        parity = sample_faults("rspeed", 0.1, "wt-parity", 50, seed=1)
+        raw = sample_faults("rspeed", 0.1, "no-ecc", 50, seed=1)
+        assert all(p.bit < 33 for p in parity)
+        assert all(p.bit < 32 for p in raw)
+
+
+# --------------------------------------------------------------------- #
+# the campaign engine                                                   #
+# --------------------------------------------------------------------- #
+class TestCampaignEngine:
+    CONFIG = CampaignConfig(
+        kernels=("canrdr", "matrix"),
+        scale=0.1,
+        trials=16,
+        batch=8,
+        seed=2019,
+    )
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_campaign(self.CONFIG)
+
+    def test_codec_level_ordering_is_reproduced(self, result):
+        """The paper's reliability argument, end to end (acceptance)."""
+        for kernel in self.CONFIG.kernels:
+            for policy in ("extra-cycle", "extra-stage", "laec"):
+                stratum = result.stratum(kernel, policy)
+                # SECDED corrects every sampled single flip that matters:
+                # zero SDC, zero timing deviation.
+                assert stratum.counts["sdc"] == 0, (kernel, policy)
+                assert stratum.counts["timing"] == 0, (kernel, policy)
+                assert stratum.counts["detected"] == 0, (kernel, policy)
+        totals = result.policy_totals()
+        # The unprotected write-back DL1 shows real silent corruption.
+        assert totals["no-ecc"]["sdc"] > 0
+        assert totals["no-ecc"]["corrected"] == 0
+        # Ordering: no-ecc SDC rate strictly above every SECDED policy.
+        for policy in ("extra-cycle", "extra-stage", "laec"):
+            assert totals["no-ecc"]["sdc"] > totals[policy]["sdc"] == 0
+            assert totals[policy]["corrected"] > 0
+
+    def test_empirical_rates_agree_with_the_analytical_model(self, result):
+        from repro.campaign import analytical_reference
+
+        reference = analytical_reference(self.CONFIG.policies)
+        for stratum in result.strata:
+            analytic_sdc = reference[stratum.policy]["codec_sdc_bound"]
+            low, high = stratum.interval("sdc")
+            # The codec-level SDC bound must be consistent with the
+            # architectural interval: for correcting codes the analytic
+            # 0.0 must lie inside it; for the unprotected array the
+            # empirical rate can only sit below the bound.
+            if analytic_sdc == 0.0:
+                assert low == 0.0, stratum
+            else:
+                assert stratum.rate("sdc") <= analytic_sdc
+
+    def test_summary_mentions_every_stratum(self, result):
+        text = result.render()
+        for kernel in self.CONFIG.kernels:
+            assert kernel in text
+        for policy in self.CONFIG.policies:
+            assert policy in text
+
+    def test_early_stopping_on_tight_intervals(self):
+        config = CampaignConfig(
+            kernels=("rspeed",),
+            policies=("extra-cycle",),
+            scale=0.1,
+            trials=60,
+            batch=10,
+            ci_target=0.5,  # huge target: stops after the first batch
+            seed=2019,
+        )
+        result = run_campaign(config)
+        stratum = result.strata[0]
+        assert stratum.early_stopped
+        assert stratum.trials == 10
+
+    def test_sharded_campaign_matches_serial(self):
+        config = CampaignConfig(
+            kernels=("rspeed",), scale=0.1, trials=8, batch=4, seed=2019
+        )
+        serial = run_campaign(config)
+        sharded = run_campaign(
+            CampaignConfig(
+                kernels=("rspeed",), scale=0.1, trials=8, batch=4, seed=2019, workers=2
+            )
+        )
+        assert sharded.render() == serial.render()
+
+
+class TestCampaignResume:
+    CONFIG = CampaignConfig(
+        kernels=("rspeed",),
+        policies=("no-ecc", "extra-cycle"),
+        scale=0.1,
+        trials=10,
+        batch=5,
+        seed=2019,
+    )
+
+    def test_resume_simulates_only_missing_points(self, tmp_path):
+        path = tmp_path / "campaign.sqlite"
+        # "Kill the campaign midway": run only half the trials.
+        half = CampaignConfig(
+            kernels=self.CONFIG.kernels,
+            policies=self.CONFIG.policies,
+            scale=self.CONFIG.scale,
+            trials=5,
+            batch=5,
+            seed=self.CONFIG.seed,
+        )
+        with ResultStore(path) as store:
+            partial = run_campaign(half, store=store, resume=True)
+            assert partial.simulated == 10 and partial.store_hits == 0
+        # Resume with the full trial budget: only the missing half runs.
+        with ResultStore(path) as store:
+            resumed = run_campaign(self.CONFIG, store=store, resume=True)
+            assert resumed.store_hits == 10
+            assert resumed.simulated == 10
+            assert len(store) == 20
+        # And the summary is byte-identical to a fresh, uninterrupted run.
+        fresh = run_campaign(self.CONFIG)
+        assert resumed.render() == fresh.render()
+
+    def test_full_resume_simulates_nothing(self, tmp_path):
+        path = tmp_path / "campaign.sqlite"
+        with ResultStore(path) as store:
+            run_campaign(self.CONFIG, store=store, resume=True)
+        with ResultStore(path) as store:
+            again = run_campaign(self.CONFIG, store=store, resume=True)
+            assert again.simulated == 0
+            assert again.store_hits == 20
+
+    def test_without_resume_points_are_recomputed(self, tmp_path):
+        path = tmp_path / "campaign.sqlite"
+        with ResultStore(path) as store:
+            run_campaign(self.CONFIG, store=store, resume=True)
+            first_hits = store.hits
+            rerun = run_campaign(self.CONFIG, store=store, resume=False)
+            assert rerun.simulated == 20
+            assert store.hits == first_hits  # no reads without --resume
+
+
+# --------------------------------------------------------------------- #
+# CLI plumbing                                                          #
+# --------------------------------------------------------------------- #
+class TestCampaignCli:
+    def test_campaign_subcommand_with_store_and_resume(self, tmp_path, capsys):
+        from repro import __main__ as cli
+
+        store = tmp_path / "cli.sqlite"
+        out = tmp_path / "summary.txt"
+        code = cli.main(
+            [
+                "campaign",
+                "--kernels",
+                "rspeed",
+                "--policies",
+                "extra-cycle",
+                "--trials",
+                "4",
+                "--scale",
+                "0.1",
+                "--store",
+                str(store),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        first = capsys.readouterr()
+        assert "simulated=4" in first.err
+        assert out.read_text(encoding="utf-8").startswith(
+            "Architectural fault-injection campaign"
+        )
+        code = cli.main(
+            [
+                "campaign",
+                "--kernels",
+                "rspeed",
+                "--policies",
+                "extra-cycle",
+                "--trials",
+                "4",
+                "--scale",
+                "0.1",
+                "--store",
+                str(store),
+                "--resume",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        second = capsys.readouterr()
+        assert "simulated=0" in second.err
+        assert "store-hits=4" in second.err
+
+    def test_resume_without_store_is_an_error(self, capsys):
+        from repro import __main__ as cli
+
+        assert cli.main(["campaign", "--resume"]) == 2
+
+    def test_unknown_policy_is_a_clean_error(self, capsys):
+        from repro import __main__ as cli
+
+        assert cli.main(["campaign", "--policies", "bogus"]) == 2
+
+    def test_campaign_summary_experiment_is_registered(self):
+        from repro.experiments import get_experiment
+
+        experiment = get_experiment("campaign_summary")
+        assert experiment.artifact == "campaign_summary"

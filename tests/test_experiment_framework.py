@@ -30,6 +30,7 @@ EXPECTED_EXPERIMENTS = {
     "ablation_hazards",
     "ablation_sensitivity",
     "fault_campaign",
+    "campaign_summary",
 }
 
 EXPECTED_ARTIFACTS = {
@@ -42,6 +43,7 @@ EXPECTED_ARTIFACTS = {
     "ablation_hazards",
     "ablation_sensitivity",
     "fault_campaign",
+    "campaign_summary",
 }
 
 

@@ -47,6 +47,44 @@ class TestTraceCache:
         _, after = cached_kernel_trace("matrix", 0.1)
         assert before is not after
 
+    def test_lru_eviction_keeps_recently_hit_entries(self, monkeypatch):
+        # Shrink the cap so eviction is cheap to provoke: three tiny
+        # (kernel, scale) entries fill the cache.
+        from repro.experiments import runner
+
+        monkeypatch.setattr(runner, "KERNEL_TRACE_CACHE_MAX_ENTRIES", 3)
+        cached_kernel_trace("rspeed", 0.01)  # A
+        cached_kernel_trace("rspeed", 0.02)  # B
+        cached_kernel_trace("rspeed", 0.03)  # C
+        # Touch A: under LRU it becomes the youngest; under FIFO it
+        # would still be the first to go.
+        _, trace_a = cached_kernel_trace("rspeed", 0.01)
+        cached_kernel_trace("rspeed", 0.04)  # D evicts B, not A
+        keys = list(runner._KERNEL_CACHE)
+        assert ("rspeed", 0.01) in keys
+        assert ("rspeed", 0.02) not in keys
+        # A must still be the cached object, not a rebuild.
+        _, trace_a_again = cached_kernel_trace("rspeed", 0.01)
+        assert trace_a_again is trace_a
+
+    def test_lru_eviction_order_is_recency_not_insertion(self, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.setattr(runner, "KERNEL_TRACE_CACHE_MAX_ENTRIES", 3)
+        scales = (0.01, 0.02, 0.03)
+        for scale in scales:
+            cached_kernel_trace("rspeed", scale)
+        # Re-touch in reverse: recency order becomes 0.03, 0.02, 0.01.
+        for scale in reversed(scales):
+            cached_kernel_trace("rspeed", scale)
+        cached_kernel_trace("rspeed", 0.04)
+        cached_kernel_trace("rspeed", 0.05)
+        keys = list(runner._KERNEL_CACHE)
+        # The two least recently used (0.03 then 0.02) were evicted.
+        assert ("rspeed", 0.03) not in keys
+        assert ("rspeed", 0.02) not in keys
+        assert ("rspeed", 0.01) in keys
+
 
 class TestParallelRunner:
     KERNELS = ["cacheb", "matrix", "puwmod"]

@@ -1,0 +1,92 @@
+"""Spec canonicalisation: the property the result store's keys rest on.
+
+Every registered scenario must round-trip
+``SimulationSpec -> canonical JSON -> SimulationSpec`` to an *equal*
+spec with a *stable* hash; distinct specs must hash differently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.policies import EccPolicyKind
+from repro.scenarios import FaultSpec, SimulationSpec, get_scenario, scenario_names
+from repro.store import (
+    canonical_dict,
+    canonical_json,
+    spec_from_canonical,
+    spec_hash,
+)
+
+
+@pytest.mark.parametrize("name", scenario_names())
+class TestScenarioRoundTrip:
+    def test_round_trip_equality(self, name):
+        spec = get_scenario(name)
+        rebuilt = spec_from_canonical(canonical_json(spec))
+        assert rebuilt == spec
+
+    def test_hash_stable_across_round_trip(self, name):
+        spec = get_scenario(name)
+        rebuilt = spec_from_canonical(canonical_json(spec))
+        assert spec_hash(rebuilt) == spec_hash(spec)
+
+    def test_hash_stable_across_encodings(self, name):
+        spec = get_scenario(name)
+        assert canonical_json(spec) == canonical_json(
+            spec_from_canonical(canonical_dict(spec))
+        )
+
+
+class TestHashDiscrimination:
+    def test_policy_forms_hash_identically(self):
+        # A policy given as string, kind or instance is the same content.
+        as_string = SimulationSpec(kernel="matrix", policy="laec")
+        as_kind = SimulationSpec(kernel="matrix", policy=EccPolicyKind.LAEC)
+        as_instance = SimulationSpec(
+            kernel="matrix", policy=as_kind.resolved_policy()
+        )
+        assert spec_hash(as_string) == spec_hash(as_kind) == spec_hash(as_instance)
+
+    def test_every_field_change_changes_the_hash(self):
+        base = SimulationSpec(kernel="matrix", scale=0.3, policy="laec")
+        variants = [
+            dataclasses.replace(base, kernel="rspeed"),
+            dataclasses.replace(base, scale=0.4),
+            dataclasses.replace(base, policy="no-ecc"),
+            dataclasses.replace(base, core_index=1),
+            dataclasses.replace(base, chronogram_window=8),
+            dataclasses.replace(base, max_instructions=1000),
+            base.with_fault(FaultSpec(word_address=64, bit=3, at_access=5)),
+        ]
+        hashes = {spec_hash(spec) for spec in variants}
+        hashes.add(spec_hash(base))
+        assert len(hashes) == len(variants) + 1
+
+    def test_fault_spec_round_trip(self):
+        # Round-tripping normalises the policy to its EccPolicyKind, so
+        # equality holds when the spec starts from the normal form.
+        spec = SimulationSpec(
+            kernel="canrdr",
+            scale=0.1,
+            policy=EccPolicyKind.EXTRA_CYCLE,
+            fault=FaultSpec(target="l2", word_address=128, bit=37, at_access=12),
+        )
+        rebuilt = spec_from_canonical(canonical_json(spec))
+        assert rebuilt == spec
+        assert rebuilt.fault == spec.fault
+        assert spec_hash(rebuilt) == spec_hash(spec)
+
+    def test_fault_faults_differ(self):
+        base = SimulationSpec(kernel="canrdr", policy="laec")
+        one = base.with_fault(FaultSpec(word_address=64, bit=1, at_access=5))
+        two = base.with_fault(FaultSpec(word_address=64, bit=2, at_access=5))
+        assert spec_hash(one) != spec_hash(two)
+
+    def test_schema_version_is_enforced(self):
+        payload = canonical_dict(SimulationSpec(kernel="matrix"))
+        payload["v"] = 99
+        with pytest.raises(ValueError):
+            spec_from_canonical(payload)
