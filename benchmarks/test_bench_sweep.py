@@ -1,0 +1,156 @@
+"""Sweep-throughput benchmark — writes ``BENCH_5.json``.
+
+Measures the multi-dimensional campaign sweep (DL1 + L2 targets ×
+isolation + worst-contention scenarios) in the regimes that matter
+operationally:
+
+* **sweep, cold** — every point of the grid simulated in-process;
+* **sweep, store cold** — the same grid plus batched ``put_many``
+  writes of every point into a fresh SQLite result store;
+* **sweep, store warm** — the grid resumed against the populated store
+  (pure content-hash lookups across all dimensions, zero simulation);
+* **sampler** — raw O(N) sampling rate of one stratum drawn in the
+  engine's sequential batch pattern, with the draw count asserted
+  linear (the pre-cursor sampler cost O(N²) draws).
+
+Marked ``perf`` so the default test run stays fast; run explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_sweep.py -m perf -q
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    clear_sample_cursors,
+    point_draw_count,
+    reset_draw_count,
+    run_campaign,
+    sample_faults,
+)
+from repro.store import ResultStore
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+CONFIG = CampaignConfig(
+    kernels=("canrdr", "matrix"),
+    policies=("no-ecc", "extra-cycle"),
+    scale=0.1,
+    trials=12,
+    batch=6,
+    seed=2019,
+    targets=("dl1", "l2"),
+    scenarios=("isolation", "laec-worst"),
+)
+
+SAMPLER_POINTS = 5000
+SAMPLER_BATCH = 20
+
+
+def _timed(label, fn):
+    started = time.perf_counter()
+    result = fn()
+    seconds = time.perf_counter() - started
+    return {
+        "name": label,
+        "points": result.points,
+        "strata": len(result.strata),
+        "simulated": result.simulated,
+        "store_hits": result.store_hits,
+        "seconds": seconds,
+        "points_per_second": result.points / seconds if seconds > 0 else 0.0,
+    }
+
+
+@pytest.mark.perf
+def test_bench_sweep_throughput(tmp_path):
+    rows = []
+    rows.append(_timed("sweep_cold", lambda: run_campaign(CONFIG)))
+
+    store_path = tmp_path / "bench_sweep.sqlite"
+    with ResultStore(store_path) as store:
+        rows.append(
+            _timed(
+                "sweep_store_cold",
+                lambda: run_campaign(CONFIG, store=store, resume=True),
+            )
+        )
+    with ResultStore(store_path) as store:
+        rows.append(
+            _timed(
+                "sweep_store_warm",
+                lambda: run_campaign(CONFIG, store=store, resume=True),
+            )
+        )
+
+    # Sampler: one stratum drawn in the engine's sequential batch
+    # pattern must cost exactly N draws (O(N), the PR 5 fix).
+    clear_sample_cursors()
+    reset_draw_count()
+    started = time.perf_counter()
+    for start in range(0, SAMPLER_POINTS, SAMPLER_BATCH):
+        sample_faults(
+            "canrdr", 0.1, "laec", SAMPLER_BATCH, seed=2019, start=start
+        )
+    sampler_seconds = time.perf_counter() - started
+    draws = point_draw_count()
+    assert draws == SAMPLER_POINTS, "sampler draw count is not O(N)"
+    rows.append(
+        {
+            "name": "sampler_sequential_batches",
+            "points": SAMPLER_POINTS,
+            "batch": SAMPLER_BATCH,
+            "rng_draws": draws,
+            "seconds": sampler_seconds,
+            "points_per_second": (
+                SAMPLER_POINTS / sampler_seconds if sampler_seconds > 0 else 0.0
+            ),
+        }
+    )
+
+    by_name = {row["name"]: row for row in rows}
+    # The warm sweep must be a pure store sweep across every dimension...
+    assert by_name["sweep_store_warm"]["simulated"] == 0
+    assert (
+        by_name["sweep_store_warm"]["store_hits"]
+        == by_name["sweep_store_warm"]["points"]
+    )
+    # ... and dramatically faster than simulating the grid.
+    assert (
+        by_name["sweep_store_warm"]["points_per_second"]
+        >= 5.0 * by_name["sweep_store_cold"]["points_per_second"]
+    ), "store hits are not cheaper than sweep simulation"
+    # The grid is the full cartesian product.
+    assert by_name["sweep_cold"]["strata"] == 2 * 2 * 2 * 2
+
+    report = {
+        "schema": "repro-sweep-bench/1",
+        "created_unix": time.time(),
+        "platform": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "kernels": list(CONFIG.kernels),
+            "policies": list(CONFIG.policies),
+            "targets": list(CONFIG.targets),
+            "scenarios": list(CONFIG.scenarios),
+            "scale": CONFIG.scale,
+            "trials_per_stratum": CONFIG.trials,
+            "batch": CONFIG.batch,
+            "seed": CONFIG.seed,
+            "sampler_points": SAMPLER_POINTS,
+            "sampler_batch": SAMPLER_BATCH,
+        },
+        "benchmarks": rows,
+    }
+    out = REPO_ROOT / "BENCH_5.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")

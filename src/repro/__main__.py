@@ -14,6 +14,8 @@ Architectural fault-injection campaigns get their own subcommand::
     python -m repro campaign --kernels matrix,canrdr --trials 100 \
         --store campaign.sqlite --resume     # simulate only missing points
     python -m repro campaign --kernels all --ci-target 0.05 --workers 0
+    python -m repro campaign --kernels matrix,canrdr \
+        --targets dl1,l2 --scenarios isolation,laec-worst   # sweep grid
 """
 
 from __future__ import annotations
@@ -130,11 +132,12 @@ def _build_campaign_parser() -> argparse.ArgumentParser:
         prog="python -m repro campaign",
         description=(
             "Statistical architectural fault-injection campaign: sample "
-            "(injection cycle x cache word x bit) points per kernel x "
-            "policy, replay each fault in a live DL1 during a real kernel "
-            "run, and classify outcomes architecturally (masked / "
-            "corrected / detected / SDC / timing) with Wilson confidence "
-            "intervals."
+            "(injection cycle x cache word x bit) points per stratum of "
+            "the sweep grid (kernel x policy x target x scenario x "
+            "scale), replay each fault in a live DL1/L2 during a real "
+            "kernel run — optionally under bus interference — and "
+            "classify outcomes architecturally (masked / corrected / "
+            "detected / SDC / timing) with Wilson confidence intervals."
         ),
     )
     parser.add_argument(
@@ -152,11 +155,39 @@ def _build_campaign_parser() -> argparse.ArgumentParser:
         help="comma-separated ECC policies (default: the four Figure 8 policies)",
     )
     parser.add_argument(
+        "--targets",
+        default="dl1",
+        metavar="A,B,...",
+        help=(
+            "comma-separated fault targets to sweep: dl1, l2 or dl1,l2 "
+            "(default: dl1)"
+        ),
+    )
+    parser.add_argument(
+        "--scenarios",
+        default="isolation",
+        metavar="A,B,...",
+        help=(
+            "comma-separated named interference scenarios the faulty runs "
+            "execute under (see --list-scenarios; e.g. isolation,laec-worst; "
+            "default: isolation)"
+        ),
+    )
+    parser.add_argument(
+        "--scales",
+        default=None,
+        metavar="S1,S2,...",
+        help=(
+            "comma-separated kernel scales to sweep (overrides --scale as "
+            "the scale axis; default: just --scale)"
+        ),
+    )
+    parser.add_argument(
         "--trials",
         type=int,
         default=80,
         metavar="N",
-        help="maximum sampled faults per kernel x policy stratum (default: 80)",
+        help="maximum sampled faults per stratum (default: 80)",
     )
     parser.add_argument(
         "--batch",
@@ -235,7 +266,18 @@ def _run_campaign_command(argv: List[str]) -> int:
     policies = tuple(
         name.strip() for name in args.policies.split(",") if name.strip()
     )
+    targets = tuple(
+        name.strip().lower() for name in args.targets.split(",") if name.strip()
+    )
+    scenarios = tuple(
+        name.strip().lower() for name in args.scenarios.split(",") if name.strip()
+    )
     try:
+        scales = (
+            tuple(float(raw) for raw in args.scales.split(",") if raw.strip())
+            if args.scales is not None
+            else ()
+        )
         config = CampaignConfig(
             kernels=kernels,
             policies=policies,
@@ -245,6 +287,9 @@ def _run_campaign_command(argv: List[str]) -> int:
             ci_target=args.ci_target,
             seed=args.seed,
             workers=args.workers,
+            targets=targets,
+            scenarios=scenarios,
+            scales=scales,
         )
     except ValueError as error:
         print(error, file=sys.stderr)

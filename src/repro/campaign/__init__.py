@@ -9,9 +9,13 @@ propagation into the memory image (SDC) and pure timing deviations.
   :class:`~repro.scenarios.spec.FaultSpec` in the cache arrays, replay
   the kernel, classify architecturally against the golden run.
 * :mod:`repro.campaign.sampling` — deterministic stratified sampling of
-  (injection cycle × cache word × bit) points per kernel × policy.
-* :mod:`repro.campaign.engine` — the campaign driver: batching, Wilson
-  confidence intervals with early stopping, process-pool sharding, and
+  (injection cycle × cache word × bit) points per stratum of the sweep
+  grid (kernel × policy × target × scenario × scale), with an O(N)
+  per-stratum sample cursor.
+* :mod:`repro.campaign.engine` — the campaign driver: declarative
+  multi-dimensional sweeps (DL1/L2 targets, named interference
+  scenarios, scales), batching, Wilson confidence intervals with early
+  stopping, process-pool sharding, per-dimension marginals, and
   checkpoint/resume through the content-addressed
   :class:`~repro.store.ResultStore`.
 * :mod:`repro.campaign.stats` — Wilson score intervals.
@@ -42,18 +46,28 @@ from repro.campaign.replay import (
     Dl1ContentModel,
     RawWordCode,
     dl1_code_for_policy,
+    l2_code_for_policy,
     run_injection,
     simulate_faulty_spec,
 )
 from repro.campaign.sampling import (
+    DEFAULT_TARGET,
+    ISOLATION_SCENARIO,
     KernelFaultSpace,
+    clear_sample_cursors,
     kernel_fault_space,
+    point_draw_count,
+    reset_draw_count,
     sample_faults,
+    stratum_identity,
+    target_codeword_bits,
 )
 from repro.campaign.stats import wilson_half_width, wilson_interval
 
 __all__ = [
+    "DEFAULT_TARGET",
     "FIGURE8_POLICY_VALUES",
+    "ISOLATION_SCENARIO",
     "OUTCOME_KEYS",
     "ArchInjectionResult",
     "ArchOutcome",
@@ -64,11 +78,17 @@ __all__ = [
     "RawWordCode",
     "StratumSummary",
     "analytical_reference",
+    "clear_sample_cursors",
     "dl1_code_for_policy",
     "kernel_fault_space",
+    "l2_code_for_policy",
+    "point_draw_count",
+    "reset_draw_count",
     "run_campaign",
     "run_injection",
     "sample_faults",
+    "stratum_identity",
+    "target_codeword_bits",
     "simulate_faulty_spec",
     "wilson_half_width",
     "wilson_interval",

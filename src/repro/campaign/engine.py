@@ -1,20 +1,25 @@
 """The statistical architectural fault-injection campaign engine.
 
-A campaign is a stratified sample over (kernel × policy × injection
-point): each stratum draws deterministic fault points
+A campaign is a stratified sample over a declarative **sweep grid**:
+kernel × policy × fault target (``dl1``/``l2``) × interference scenario
+× scale.  Each stratum draws deterministic fault points
 (:mod:`repro.campaign.sampling`), replays them architecturally
 (:mod:`repro.campaign.replay`), aggregates outcome counts with Wilson
 confidence intervals (:mod:`repro.campaign.stats`), and optionally stops
-a stratum early once its intervals are tight enough.
+a stratum early once its intervals are tight enough.  The default grid
+(one ``dl1`` target, the ``isolation`` scenario, one scale) reproduces
+historical single-dimension campaigns byte-identically — same seed, same
+points, same rendered table.
 
 Execution is shardable (``workers=`` fans points out over a
 ``ProcessPoolExecutor``; every worker reuses the per-process kernel
 trace cache) and resumable: with a :class:`~repro.store.ResultStore`
 attached, each point is keyed by the content hash of its full
-:class:`~repro.scenarios.spec.SimulationSpec` and a resumed campaign
-simulates only the points the store does not hold yet.  Because the
-sample sequence is prefix-deterministic and each point's outcome is
-deterministic, a resumed campaign renders byte-identical summaries.
+:class:`~repro.scenarios.spec.SimulationSpec` — which carries the
+target, the scenario's interference and the scale — so resume works
+across every dimension of the grid.  Because the sample sequence is
+prefix-deterministic and each point's outcome is deterministic, a
+resumed campaign renders byte-identical summaries.
 """
 
 from __future__ import annotations
@@ -26,12 +31,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import Table
 from repro.campaign.replay import ArchOutcome, run_injection
-from repro.campaign.sampling import sample_faults
+from repro.campaign.sampling import DEFAULT_TARGET, ISOLATION_SCENARIO, sample_faults
 from repro.campaign.stats import DEFAULT_Z, wilson_half_width, wilson_interval
 from repro.core.policies import make_policy
 from repro.ecc.codec import EccCode
 from repro.ecc.reliability import ReliabilityModel
-from repro.scenarios.spec import SimulationSpec
+from repro.scenarios.spec import FAULT_TARGETS, SimulationSpec
 
 #: The four DL1 deployments compared in Figure 8, in paper order.
 FIGURE8_POLICY_VALUES = ("no-ecc", "extra-cycle", "extra-stage", "laec")
@@ -41,7 +46,14 @@ OUTCOME_KEYS = tuple(outcome.value for outcome in ArchOutcome)
 
 @dataclass(frozen=True)
 class CampaignConfig:
-    """Everything one campaign needs (a plain, picklable value)."""
+    """Everything one campaign needs (a plain, picklable value).
+
+    ``targets``, ``scenarios`` and ``scales`` span the sweep grid; their
+    defaults describe the historical single-dimension campaign (DL1
+    faults during isolation runs at ``scale``), so existing configs keep
+    meaning — and reproducing — exactly what they always did.
+    ``scales`` empty means "just ``scale``".
+    """
 
     kernels: Tuple[str, ...]
     policies: Tuple[str, ...] = FIGURE8_POLICY_VALUES
@@ -57,6 +69,14 @@ class CampaignConfig:
     seed: int = 2019
     #: Process-pool width (None = serial, 0 = one per CPU).
     workers: Optional[int] = None
+    #: Fault targets swept (subset of FAULT_TARGETS).
+    targets: Tuple[str, ...] = (DEFAULT_TARGET,)
+    #: Named interference scenarios the faulty runs execute under (names
+    #: from :mod:`repro.scenarios.registry`; only their interference
+    #: component is used — the policy axis is this config's own).
+    scenarios: Tuple[str, ...] = (ISOLATION_SCENARIO,)
+    #: Kernel scales swept; empty = (scale,).
+    scales: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.kernels:
@@ -65,17 +85,64 @@ class CampaignConfig:
             raise ValueError("trials and batch must be positive")
         for value in self.policies:
             make_policy(value)  # validates early, with a helpful error
+        if not self.targets:
+            raise ValueError("a campaign needs at least one fault target")
+        for target in self.targets:
+            if target not in FAULT_TARGETS:
+                raise ValueError(
+                    f"unknown fault target {target!r}; "
+                    f"expected one of {FAULT_TARGETS}"
+                )
+        if not self.scenarios:
+            raise ValueError("a campaign needs at least one scenario")
+        for name in self.scenarios:
+            try:
+                self.scenario_interference(name)
+            except KeyError as error:
+                raise ValueError(str(error.args[0])) from error
+        for scale in self.sweep_scales:
+            if scale <= 0:
+                raise ValueError("campaign scales must be positive")
+
+    # -- the sweep grid -------------------------------------------------- #
+    @property
+    def sweep_scales(self) -> Tuple[float, ...]:
+        """The scale axis of the grid (``scales`` or the single ``scale``)."""
+        return self.scales if self.scales else (self.scale,)
+
+    @staticmethod
+    def scenario_interference(name: str):
+        """Resolve a scenario name to its interference component."""
+        if name == ISOLATION_SCENARIO:
+            # The campaign default never touches the registry (and keeps
+            # interference=None, the historical spec shape).
+            return None
+        from repro.scenarios.registry import scenario_interference
+
+        return scenario_interference(name)
+
+    def strata(self):
+        """The grid in deterministic order (kernel-major, scale-minor)."""
+        for kernel in self.kernels:
+            for policy_value in self.policies:
+                for target in self.targets:
+                    for scenario in self.scenarios:
+                        for scale in self.sweep_scales:
+                            yield kernel, policy_value, target, scenario, scale
 
 
 @dataclass
 class StratumSummary:
-    """Aggregated outcome counts of one kernel × policy stratum."""
+    """Aggregated outcome counts of one stratum of the sweep grid."""
 
     kernel: str
     policy: str
     trials: int
     counts: Dict[str, int]
     early_stopped: bool = False
+    target: str = DEFAULT_TARGET
+    scenario: str = ISOLATION_SCENARIO
+    scale: Optional[float] = None
 
     def rate(self, key: str) -> float:
         return self.counts.get(key, 0) / self.trials if self.trials else 0.0
@@ -91,7 +158,13 @@ class CampaignResult:
     config: CampaignConfig
     strata: List[StratumSummary] = field(default_factory=list)
     #: Store bookkeeping (not part of the rendered summary, which must
-    #: be byte-identical between fresh and resumed runs).
+    #: be byte-identical between fresh and resumed runs).  The counters
+    #: mirror the attached store's own hit/miss accounting for exactly
+    #: the lookups this campaign performed: resume lookups that found a
+    #: payload are hits, resume lookups that did not are misses (every
+    #: miss is then simulated), and non-resume runs perform no lookups
+    #: at all — so ``store_misses == simulated`` whenever resuming and
+    #: both are zero-lookup-consistent otherwise.
     store_hits: int = 0
     store_misses: int = 0
     simulated: int = 0
@@ -100,66 +173,128 @@ class CampaignResult:
     def points(self) -> int:
         return sum(stratum.trials for stratum in self.strata)
 
-    def stratum(self, kernel: str, policy: str) -> StratumSummary:
+    def stratum(
+        self,
+        kernel: str,
+        policy: str,
+        *,
+        target: Optional[str] = None,
+        scenario: Optional[str] = None,
+        scale: Optional[float] = None,
+    ) -> StratumSummary:
+        """The first stratum matching the given coordinates."""
         for candidate in self.strata:
-            if candidate.kernel == kernel and candidate.policy == policy:
-                return candidate
+            if candidate.kernel != kernel or candidate.policy != policy:
+                continue
+            if target is not None and candidate.target != target:
+                continue
+            if scenario is not None and candidate.scenario != scenario:
+                continue
+            if scale is not None and candidate.scale != scale:
+                continue
+            return candidate
         raise KeyError(f"no stratum {kernel} x {policy}")
 
-    def policy_totals(self) -> Dict[str, Dict[str, int]]:
-        """Outcome counts summed over kernels, keyed by policy value."""
-        totals: Dict[str, Dict[str, int]] = {}
+    # -- marginals ------------------------------------------------------- #
+    def _totals_by(self, group) -> Dict:
+        totals: Dict = {}
         for stratum in self.strata:
             bucket = totals.setdefault(
-                stratum.policy, {key: 0 for key in OUTCOME_KEYS}
+                group(stratum), {key: 0 for key in OUTCOME_KEYS}
             )
             bucket["trials"] = bucket.get("trials", 0) + stratum.trials
             for key in OUTCOME_KEYS:
                 bucket[key] += stratum.counts.get(key, 0)
         return totals
 
+    def policy_totals(self) -> Dict[str, Dict[str, int]]:
+        """Outcome counts summed over all other dimensions, per policy."""
+        return self._totals_by(lambda stratum: stratum.policy)
+
+    def target_totals(self) -> Dict[Tuple[str, str], Dict[str, int]]:
+        """Per-(target, policy) marginal outcome counts."""
+        return self._totals_by(lambda stratum: (stratum.target, stratum.policy))
+
+    def scenario_totals(self) -> Dict[Tuple[str, str], Dict[str, int]]:
+        """Per-(scenario, policy) marginal outcome counts."""
+        return self._totals_by(lambda stratum: (stratum.scenario, stratum.policy))
+
     # ------------------------------------------------------------------ #
     def render(self) -> str:
-        """Deterministic campaign summary (identical for resumed runs)."""
+        """Deterministic campaign summary (identical for resumed runs).
+
+        Sweep dimensions appear as columns only when the config actually
+        sweeps them, so single-dimension campaigns keep their historical
+        byte-exact rendering.
+        """
+        config = self.config
+        show_target = config.targets != (DEFAULT_TARGET,)
+        show_scenario = config.scenarios != (ISOLATION_SCENARIO,)
+        show_scale = len(config.sweep_scales) > 1
+        scale_text = ",".join(f"{scale:g}" for scale in config.sweep_scales)
+        columns = ["kernel", "policy"]
+        if show_target:
+            columns.append("target")
+        if show_scenario:
+            columns.append("scenario")
+        if show_scale:
+            columns.append("scale")
+        columns += [
+            "trials",
+            "masked %",
+            "corrected %",
+            "detected %",
+            "SDC %",
+            "timing %",
+            "SDC 95% CI",
+        ]
         table = Table(
             title=(
                 "Architectural fault-injection campaign "
-                f"(scale {self.config.scale:g}, seed {self.config.seed}, "
-                f"<= {self.config.trials} trials/stratum)"
+                f"(scale {scale_text}, seed {config.seed}, "
+                f"<= {config.trials} trials/stratum)"
             ),
-            columns=[
-                "kernel",
-                "policy",
-                "trials",
-                "masked %",
-                "corrected %",
-                "detected %",
-                "SDC %",
-                "timing %",
-                "SDC 95% CI",
-            ],
+            columns=columns,
         )
         for stratum in self.strata:
-            low, high = stratum.interval("sdc", z=self.config.ci_z)
-            table.add_row(
-                kernel=stratum.kernel,
-                policy=stratum.policy + ("*" if stratum.early_stopped else ""),
-                trials=stratum.trials,
-                **{
+            low, high = stratum.interval("sdc", z=config.ci_z)
+            row = {
+                "kernel": stratum.kernel,
+                "policy": stratum.policy + ("*" if stratum.early_stopped else ""),
+            }
+            if show_target:
+                row["target"] = stratum.target
+            if show_scenario:
+                row["scenario"] = stratum.scenario
+            if show_scale:
+                row["scale"] = f"{stratum.scale:g}"
+            row.update(
+                {
+                    "trials": stratum.trials,
                     "masked %": 100.0 * stratum.rate("masked"),
                     "corrected %": 100.0 * stratum.rate("corrected"),
                     "detected %": 100.0 * stratum.rate("detected"),
                     "SDC %": 100.0 * stratum.rate("sdc"),
                     "timing %": 100.0 * stratum.rate("timing"),
                     "SDC 95% CI": f"[{100.0 * low:.1f}, {100.0 * high:.1f}]",
-                },
+                }
             )
+            table.add_row(**row)
+        if show_target:
+            where = "live DL1/L2 lines"
+        else:
+            where = "live DL1 lines"
         note = (
             "* = stratum stopped early at the requested CI half-width.\n"
-            "Faults are single bit flips landing in live DL1 lines during the\n"
+            f"Faults are single bit flips landing in {where} during the\n"
             "run; outcomes are classified architecturally against the golden\n"
             "functional trace (masked / corrected / detected / SDC / timing)."
         )
+        if show_scenario:
+            note += (
+                "\nScenario names set the interference the faulty run executes\n"
+                "under (isolation = single core; others load the shared bus)."
+            )
         return table.render(float_format="{:.1f}") + "\n" + note
 
 
@@ -222,10 +357,10 @@ def run_campaign(
     """Run (or resume) one stratified architectural campaign.
 
     ``store`` is an optional :class:`~repro.store.ResultStore`; computed
-    points are always written to it.  With ``resume=True`` points whose
-    spec hash is already stored are *not* re-simulated — their stored
-    outcome is reused — which is what turns a half-finished campaign
-    into an incremental one.
+    points are always written to it (one transaction per batch).  With
+    ``resume=True`` points whose spec hash is already stored are *not*
+    re-simulated — their stored outcome is reused — which is what turns
+    a half-finished campaign into an incremental one.
     """
     workers = config.workers
     if workers == 0:
@@ -237,18 +372,20 @@ def run_campaign(
         else None
     )
     try:
-        for kernel in config.kernels:
-            for policy_value in config.policies:
-                stratum = _run_stratum(
-                    config,
-                    kernel,
-                    policy_value,
-                    store=store,
-                    resume=resume,
-                    executor=executor,
-                    result=result,
-                )
-                result.strata.append(stratum)
+        for kernel, policy_value, target, scenario, scale in config.strata():
+            stratum = _run_stratum(
+                config,
+                kernel,
+                policy_value,
+                target=target,
+                scenario=scenario,
+                scale=scale,
+                store=store,
+                resume=resume,
+                executor=executor,
+                result=result,
+            )
+            result.strata.append(stratum)
     finally:
         if executor is not None:
             executor.shutdown()
@@ -260,6 +397,9 @@ def _run_stratum(
     kernel: str,
     policy_value: str,
     *,
+    target: str,
+    scenario: str,
+    scale: float,
     store,
     resume: bool,
     executor,
@@ -267,6 +407,7 @@ def _run_stratum(
 ) -> StratumSummary:
     from repro.store import canonical_json, spec_hash
 
+    interference = config.scenario_interference(scenario)
     counts: Dict[str, int] = {key: 0 for key in OUTCOME_KEYS}
     done = 0
     early = False
@@ -274,29 +415,38 @@ def _run_stratum(
         batch_size = min(config.batch, config.trials - done)
         faults = sample_faults(
             kernel,
-            config.scale,
+            scale,
             policy_value,
             batch_size,
             seed=config.seed,
             start=done,
+            target=target,
+            scenario=scenario,
         )
         if not faults:
             break
         specs = [
             SimulationSpec(
-                kernel=kernel, scale=config.scale, policy=policy_value, fault=fault
+                kernel=kernel,
+                scale=scale,
+                policy=policy_value,
+                interference=interference,
+                fault=fault,
             )
             for fault in faults
         ]
         keys = [spec_hash(spec) for spec in specs]
         payloads: List[Optional[Dict[str, object]]] = [None] * len(specs)
         to_run: List[int] = []
+        lookup = store is not None and resume
         for index, key in enumerate(keys):
-            stored = store.get(key) if (store is not None and resume) else None
+            stored = store.get(key) if lookup else None
             if stored is not None:
                 payloads[index] = stored
                 result.store_hits += 1
             else:
+                if lookup:
+                    result.store_misses += 1
                 to_run.append(index)
         if to_run:
             pending = [specs[index] for index in to_run]
@@ -304,17 +454,16 @@ def _run_stratum(
                 computed = list(executor.map(_simulate_point, pending))
             else:
                 computed = [_simulate_point(spec) for spec in pending]
+            rows = []
             for index, payload in zip(to_run, computed):
                 payloads[index] = payload
                 result.simulated += 1
                 if store is not None:
-                    result.store_misses += 1
-                    store.put(
-                        keys[index],
-                        payload,
-                        spec_json=canonical_json(specs[index]),
-                        kind="injection",
+                    rows.append(
+                        (keys[index], payload, canonical_json(specs[index]))
                     )
+            if rows:
+                store.put_many(rows, kind="injection")
         for payload in payloads:
             counts[str(payload["outcome"])] += 1
         done += len(faults)
@@ -331,4 +480,7 @@ def _run_stratum(
         trials=done,
         counts=counts,
         early_stopped=early,
+        target=target,
+        scenario=scenario,
+        scale=scale,
     )

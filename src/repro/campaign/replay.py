@@ -55,7 +55,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.caching import lru_get, lru_put
-from repro.core.policies import EccPolicy
+from repro.core.policies import EccPolicy, EccPolicyKind
 from repro.ecc.codec import DecodeResult, DecodeStatus, EccCode, get_code
 from repro.functional.memory import FlatMemory, MemoryAccessError
 from repro.functional.simulator import (
@@ -96,6 +96,20 @@ def dl1_code_for_policy(policy: EccPolicy) -> EccCode:
     return get_code(policy.dl1_code_name)
 
 
+def l2_code_for_policy(policy: EccPolicy) -> EccCode:
+    """The code protecting the L2 data array under ``policy``.
+
+    Every protected deployment of the paper pairs its DL1 scheme with a
+    SECDED L2 (the baseline platform's L2 protection, Section II-A).
+    The ``no-ecc`` deployment is the fully unprotected hierarchy Figure
+    8 uses as its ideal baseline, so its L2 stores bare words and an L2
+    flip silently corrupts data exactly like a DL1 flip does.
+    """
+    if policy.kind is EccPolicyKind.NO_ECC:
+        return RawWordCode()
+    return get_code("secded")
+
+
 class ArchOutcome(enum.Enum):
     """Architectural classification of one injected fault."""
 
@@ -112,6 +126,7 @@ _DETECTED_EVENTS = frozenset(
         "load_detected_refetch",
         "load_detected_dirty",
         "writeback_detected_dirty",
+        "l2_detected",
         "crash",
         "hang",
     }
@@ -194,6 +209,8 @@ class Dl1ContentModel:
         hierarchy: MemoryHierarchyConfig,
         code: EccCode,
         backing: FlatMemory,
+        *,
+        l2_code: Optional[EccCode] = None,
     ) -> None:
         self.cache = SetAssociativeCache(hierarchy.l1d, ecc_code=code)
         self.code = code
@@ -201,15 +218,17 @@ class Dl1ContentModel:
         self.write_through = hierarchy.l1d.write_policy is WritePolicy.WRITE_THROUGH
         self.line_bytes = hierarchy.l1d.line_bytes
         self.events: List[str] = []
-        # L2-targeted fault state: word address -> corrupted SECDED
-        # codeword.  The paper's L2 is SECDED-protected, so the flip is
-        # healed (and recorded) the next time the word is read.
+        # L2-targeted fault state: word address -> corrupted codeword of
+        # the L2's code.  Under a SECDED L2 (every protected deployment)
+        # the flip is healed (and recorded) the next time the word is
+        # read; under the unprotected baseline it silently corrupts the
+        # word like a DL1 flip would.
         self._l2_corrupt: Dict[int, int] = {}
-        self._l2_code: Optional[EccCode] = None
+        self._l2_code: Optional[EccCode] = l2_code
 
     # -- L2-targeted faults --------------------------------------------- #
     def inject_l2_fault(self, word_address: int, bit: int) -> bool:
-        """Flip one bit of the SECDED codeword of a below-L1 word."""
+        """Flip one bit of the L2 codeword of a below-L1 word."""
         if self._l2_code is None:
             self._l2_code = get_code("secded")
         bit %= self._l2_code.total_bits
@@ -387,7 +406,12 @@ def _build_model(spec: SimulationSpec, program: Program) -> Dl1ContentModel:
     hierarchy = spec.core_config().resolved_hierarchy_config()
     backing = FlatMemory()
     backing.load_bytes(program.data.base, program.data.data)
-    return Dl1ContentModel(hierarchy, dl1_code_for_policy(policy), backing)
+    return Dl1ContentModel(
+        hierarchy,
+        dl1_code_for_policy(policy),
+        backing,
+        l2_code=l2_code_for_policy(policy),
+    )
 
 
 def _arm(model: Dl1ContentModel, fault: FaultSpec) -> None:

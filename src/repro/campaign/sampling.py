@@ -1,12 +1,23 @@
 """Stratified fault-point sampling.
 
 A campaign samples injection points per stratum (one stratum per
-kernel × policy pair): an injection ordinal uniform over the kernel's
-DL1 data accesses, a word address uniform over the words the kernel has
-touched *before* that ordinal (the plausible-resident population — words
-it has not touched yet occupy no line, so flips aimed at them model
-upsets landing in unoccupied parts of the array), and a bit position
-uniform over the policy's DL1 codeword width.
+kernel × policy × target × scenario × scale tuple of the sweep grid):
+an injection ordinal uniform over the kernel's DL1 data accesses, a
+word address drawn from the targeted array's plausible-resident
+population, and a bit position uniform over the codeword width the
+policy stores in that array.
+
+Per target, the word population is:
+
+* ``dl1`` — words the kernel has touched *before* the injection ordinal
+  (the first-touch population — words it has not touched yet occupy no
+  line, so flips aimed at them model upsets landing in unoccupied parts
+  of the array);
+* ``l2`` — every word of the golden run's working set.  The L2 (plus
+  the memory behind it) holds the whole initial data image and every
+  word the run ever writes back, so all touched words are L2-resident
+  for the entire run, mirroring the DL1 first-touch population without
+  its before-the-ordinal restriction.
 
 Sampling is **prefix-deterministic**: the i-th point of a stratum
 depends only on the campaign seed and the stratum identity, never on
@@ -14,6 +25,13 @@ batch sizes or early stopping.  That property is what makes checkpoint /
 resume sound — a resumed campaign regenerates exactly the points the
 killed campaign would have run, finds the finished ones in the store by
 content hash, and simulates only the rest.
+
+Each stratum also keeps a **sample cursor** (the live RNG plus its
+position in the sequence), so drawing a stratum's N points in sequential
+batches costs O(N) RNG draws in total instead of regenerating every
+batch's prefix from index 0 (which made an N-trial stratum cost O(N²)
+draws).  A window that starts before the cursor simply rebuilds the RNG
+and replays the prefix — determinism never depends on the cursor cache.
 """
 
 from __future__ import annotations
@@ -24,7 +42,13 @@ from typing import Dict, List, Tuple
 
 from repro.core.caching import lru_get, lru_put
 from repro.core.policies import make_policy
-from repro.scenarios.spec import FaultSpec
+from repro.scenarios.spec import FAULT_TARGETS, FaultSpec
+
+#: The stratum-dimension defaults: a DL1 fault during an isolation run.
+#: Strata pinned to these defaults keep the historical RNG identity, so
+#: pre-existing DL1-only campaigns reproduce byte-identically.
+DEFAULT_TARGET = "dl1"
+ISOLATION_SCENARIO = "isolation"
 
 
 @dataclass(frozen=True)
@@ -83,9 +107,107 @@ def policy_codeword_bits(policy_value: str) -> int:
     return get_code(policy.dl1_code_name).total_bits
 
 
-def stratum_rng(seed: int, kernel: str, policy_value: str) -> random.Random:
+def target_codeword_bits(policy_value: str, target: str = DEFAULT_TARGET) -> int:
+    """Codeword width of the targeted array under ``policy_value``.
+
+    The DL1 width follows the policy's DL1 code; the L2 width follows
+    the deployment's L2 protection (SECDED for every protected
+    deployment, the bare 32-bit word for the unprotected ``no-ecc``
+    baseline — see :func:`repro.campaign.replay.l2_code_for_policy`).
+    """
+    if target == "l2":
+        from repro.campaign.replay import l2_code_for_policy
+
+        return l2_code_for_policy(make_policy(policy_value)).total_bits
+    return policy_codeword_bits(policy_value)
+
+
+def stratum_identity(
+    seed: int,
+    kernel: str,
+    policy_value: str,
+    *,
+    target: str = DEFAULT_TARGET,
+    scenario: str = ISOLATION_SCENARIO,
+) -> str:
+    """The RNG identity string of one stratum of the sweep grid.
+
+    Non-default dimensions are appended as suffixes so the historical
+    DL1 / isolation strata keep their original identity (and therefore
+    their exact historical sample sequences), while every other stratum
+    of the grid draws an independent stream.  Scale is deliberately not
+    part of the identity: it enters through the fault space the draws
+    are mapped onto (a different scale yields a different population and
+    mem-op count, hence different points).
+    """
+    identity = f"campaign:{seed}:{kernel}:{policy_value}"
+    if target != DEFAULT_TARGET:
+        identity += f":target={target}"
+    if scenario not in (None, ISOLATION_SCENARIO):
+        identity += f":scenario={scenario}"
+    return identity
+
+
+def stratum_rng(
+    seed: int,
+    kernel: str,
+    policy_value: str,
+    *,
+    target: str = DEFAULT_TARGET,
+    scenario: str = ISOLATION_SCENARIO,
+) -> random.Random:
     """The deterministic RNG of one stratum (independent of all others)."""
-    return random.Random(f"campaign:{seed}:{kernel}:{policy_value}")
+    return random.Random(
+        stratum_identity(seed, kernel, policy_value, target=target, scenario=scenario)
+    )
+
+
+#: Stratum sample cursors: identity key -> [next_index, live RNG].  Pure
+#: cache — losing an entry only costs a prefix replay, never determinism.
+_CURSOR_CACHE: Dict[Tuple[str, float], List] = {}
+_CURSOR_CACHE_MAX = 256
+
+#: Total points drawn (including prefix replays) since process start or
+#: the last :func:`reset_draw_count` — the O(N)-sampling regression hook.
+_POINT_DRAWS = 0
+
+
+def point_draw_count() -> int:
+    """Number of sample points drawn from stratum RNGs so far."""
+    return _POINT_DRAWS
+
+
+def reset_draw_count() -> None:
+    global _POINT_DRAWS
+    _POINT_DRAWS = 0
+
+
+def clear_sample_cursors() -> None:
+    """Drop every cached stratum cursor (tests / determinism audits)."""
+    _CURSOR_CACHE.clear()
+
+
+def _draw_point(
+    rng: random.Random, space: KernelFaultSpace, total_bits: int, target: str
+) -> FaultSpec:
+    """One point of a stratum's sequence (exactly one 3-draw step)."""
+    global _POINT_DRAWS
+    _POINT_DRAWS += 1
+    at_access = rng.randint(1, space.mem_ops)
+    if target == "l2":
+        # The whole working set is L2-resident for the entire run.
+        word = space.first_touch[rng.randrange(len(space.first_touch))]
+    else:
+        population = space.distinct_before[at_access - 1]
+        if population:
+            word = space.first_touch[rng.randrange(population)]
+        else:
+            # Nothing resident yet: aim at the first word the kernel
+            # will touch — the flip lands in an unoccupied line and is
+            # architecturally masked, modelling spatially wasted upsets.
+            word = space.first_touch[0]
+    bit = rng.randrange(total_bits)
+    return FaultSpec(target=target, word_address=word, bit=bit, at_access=at_access)
 
 
 def sample_faults(
@@ -96,34 +218,42 @@ def sample_faults(
     *,
     seed: int,
     start: int = 0,
+    target: str = DEFAULT_TARGET,
+    scenario: str = ISOLATION_SCENARIO,
 ) -> List[FaultSpec]:
     """Points ``start .. start+count`` of one stratum's sample sequence.
 
-    Regenerates the sequence from the beginning (draws are cheap), so
-    any ``(start, count)`` window of the same stratum always yields the
-    same points — the resume invariant.
+    Any ``(start, count)`` window of the same stratum always yields the
+    same points — the resume invariant.  Sequential windows continue the
+    stratum's cached sample cursor, so sweeping a stratum of N points in
+    batches costs O(N) RNG draws total; a window behind the cursor
+    rebuilds the RNG and replays the prefix, which is the only case that
+    re-draws points.
     """
+    if target not in FAULT_TARGETS:
+        raise ValueError(
+            f"unknown fault target {target!r}; expected one of {FAULT_TARGETS}"
+        )
     space = kernel_fault_space(kernel, scale)
-    total_bits = policy_codeword_bits(policy_value)
-    rng = stratum_rng(seed, kernel, policy_value)
-    points: List[FaultSpec] = []
     if space.mem_ops == 0:
-        return points
-    for index in range(start + count):
-        at_access = rng.randint(1, space.mem_ops)
-        population = space.distinct_before[at_access - 1]
-        if population:
-            word = space.first_touch[rng.randrange(population)]
-        else:
-            # Nothing resident yet: aim at the first word the kernel
-            # will touch — the flip lands in an unoccupied line and is
-            # architecturally masked, modelling spatially wasted upsets.
-            word = space.first_touch[0]
-        bit = rng.randrange(total_bits)
-        if index >= start:
-            points.append(
-                FaultSpec(
-                    target="dl1", word_address=word, bit=bit, at_access=at_access
-                )
-            )
+        return []
+    total_bits = target_codeword_bits(policy_value, target)
+    identity = stratum_identity(
+        seed, kernel, policy_value, target=target, scenario=scenario
+    )
+    key = (identity, scale)
+    cursor = lru_get(_CURSOR_CACHE, key)
+    if cursor is None or cursor[0] > start:
+        cursor = [
+            0,
+            stratum_rng(seed, kernel, policy_value, target=target, scenario=scenario),
+        ]
+    position, rng = cursor
+    while position < start:
+        _draw_point(rng, space, total_bits, target)
+        position += 1
+    points = [_draw_point(rng, space, total_bits, target) for _ in range(count)]
+    cursor[0] = start + count
+    cursor[1] = rng
+    lru_put(_CURSOR_CACHE, key, cursor, _CURSOR_CACHE_MAX)
     return points

@@ -20,6 +20,9 @@ module                          paper artefact
                                 analytical reliability model (wraps
                                 :mod:`repro.campaign`; registered in
                                 :mod:`repro.experiments.catalog`)
+``sweep_summary``               multi-dimensional fault sweep (DL1 vs L2
+                                targets × isolation vs bus contention)
+                                with per-dimension marginals
 ==============================  =======================================
 
 Each driver module exposes ``run(...)``/``render(...)``; the uniform
@@ -35,6 +38,7 @@ from repro.experiments import (
     energy_report,
     fault_campaign,
     figure8,
+    sweep_summary,
     table1,
     table2,
     wt_vs_wb,
@@ -74,6 +78,7 @@ __all__ = [
     "figure8",
     "get_experiment",
     "register",
+    "sweep_summary",
     "table1",
     "table2",
     "wt_vs_wb",

@@ -15,6 +15,7 @@ from repro.experiments import (
     energy_report,
     fault_campaign,
     figure8,
+    sweep_summary,
     table1,
     table2,
     wt_vs_wb,
@@ -230,3 +231,44 @@ class CampaignSummaryExperiment(Experiment):
             "corrected; the unprotected write-back DL1 must not."
         )
         return text + "\n\n" + table.render(float_format="{:.1f}") + "\n" + note
+
+
+@register
+class SweepSummaryExperiment(Experiment):
+    name = "sweep_summary"
+    description = (
+        "Multi-dimensional fault sweep: DL1 vs L2 targets x isolation vs "
+        "bus contention, per Figure-8 policy"
+    )
+    artifact = "sweep_summary"
+
+    #: Harness parameters: the campaign_summary kernel pair swept over
+    #: both fault targets and both interference extremes.  Small per-
+    #: stratum budgets keep the 2x4x2x2 grid fast while leaving every
+    #: marginal well-populated.
+    kernels = ("canrdr", "matrix")
+    targets = ("dl1", "l2")
+    scenarios = ("isolation", "laec-worst")
+    scale = 0.1
+    trials = 12
+    batch = 6
+    default_seed = 2019
+
+    def build(self, context: ExperimentContext):
+        seed = context.seed if context.seed is not None else self.default_seed
+        resume = context.store is not None and not context.force
+        return sweep_summary.run(
+            kernels=self.kernels,
+            targets=self.targets,
+            scenarios=self.scenarios,
+            scale=self.scale,
+            trials=self.trials,
+            batch=self.batch,
+            seed=seed,
+            workers=context.workers,
+            store=context.store,
+            resume=resume,
+        )
+
+    def render(self, result) -> str:
+        return sweep_summary.render(result)

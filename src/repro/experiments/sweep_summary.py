@@ -1,0 +1,137 @@
+"""Multi-dimensional fault-sweep summary (DL1 vs L2, isolation vs contention).
+
+The paper's reliability argument covers the whole protected hierarchy
+under real multicore operating conditions, not just the DL1 of an
+isolated core: SECDED makes dirty data safe wherever it lives, and the
+guarantee must hold while the shared bus is loaded.  This experiment
+runs one declarative sweep campaign over
+
+* **fault target** — DL1 vs L2 array flips,
+* **interference scenario** — isolation vs the WCET study's worst-case
+  round-robin contention (``laec-worst``),
+
+for every Figure-8 policy, and renders the per-dimension marginals next
+to the per-stratum table.  The acceptance property it demonstrates: the
+SECDED deployments show zero SDC on *both* arrays in *both* scenarios,
+while the unprotected baseline's L2 — bare words, no code — silently
+corrupts data exactly like its DL1 does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.analysis.reporting import Table
+from repro.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.campaign.stats import wilson_interval
+
+
+def run(
+    *,
+    kernels: Tuple[str, ...] = ("canrdr", "matrix"),
+    policies: Tuple[str, ...] = ("no-ecc", "extra-cycle", "extra-stage", "laec"),
+    targets: Tuple[str, ...] = ("dl1", "l2"),
+    scenarios: Tuple[str, ...] = ("isolation", "laec-worst"),
+    scale: float = 0.1,
+    trials: int = 12,
+    batch: int = 6,
+    seed: int = 2019,
+    workers: Optional[int] = None,
+    store=None,
+    resume: bool = False,
+) -> CampaignResult:
+    """Run the sweep campaign behind the ``sweep_summary`` artefact."""
+    config = CampaignConfig(
+        kernels=kernels,
+        policies=policies,
+        scale=scale,
+        trials=trials,
+        batch=batch,
+        seed=seed,
+        workers=workers,
+        targets=targets,
+        scenarios=scenarios,
+    )
+    return run_campaign(config, store=store, resume=resume)
+
+
+def _marginal_table(
+    title: str,
+    dimension_label: str,
+    totals,
+    *,
+    policies,
+    values,
+) -> Table:
+    table = Table(
+        title=title,
+        columns=[
+            "policy",
+            dimension_label,
+            "trials",
+            "corrected %",
+            "detected %",
+            "SDC %",
+            "SDC 95% CI",
+        ],
+    )
+    for policy in policies:
+        for value in values:
+            bucket = totals.get((value, policy))
+            if bucket is None:
+                continue
+            trials = bucket["trials"]
+            low, high = wilson_interval(bucket["sdc"], trials)
+            table.add_row(
+                policy=policy,
+                **{
+                    dimension_label: value,
+                    "trials": trials,
+                    "corrected %": 100.0 * bucket["corrected"] / trials
+                    if trials
+                    else 0.0,
+                    "detected %": 100.0 * bucket["detected"] / trials
+                    if trials
+                    else 0.0,
+                    "SDC %": 100.0 * bucket["sdc"] / trials if trials else 0.0,
+                    "SDC 95% CI": f"[{100.0 * low:.1f}, {100.0 * high:.1f}]",
+                },
+            )
+    return table
+
+
+def render(result: CampaignResult) -> str:
+    """Per-stratum table plus the per-target and per-scenario marginals."""
+    config = result.config
+    per_target = _marginal_table(
+        "DL1 vs L2 vulnerability per Figure-8 policy",
+        "target",
+        result.target_totals(),
+        policies=config.policies,
+        values=config.targets,
+    )
+    per_scenario = _marginal_table(
+        "Isolation vs bus-contention rates per Figure-8 policy",
+        "scenario",
+        result.scenario_totals(),
+        policies=config.policies,
+        values=config.scenarios,
+    )
+    note = (
+        "Marginals sum each policy's strata over the other sweep dimensions.\n"
+        "SECDED deployments must show zero SDC on both arrays and in both\n"
+        "scenarios (every observed flip of live data is corrected); the\n"
+        "unprotected baseline's L2 holds bare words, so its flips silently\n"
+        "corrupt data exactly like its DL1 flips do.  Interference changes\n"
+        "when faults land relative to bus stalls, never whether SECDED\n"
+        "corrects them."
+    )
+    return (
+        result.render()
+        + "\n\n"
+        + per_target.render(float_format="{:.1f}")
+        + "\n\n"
+        + per_scenario.render(float_format="{:.1f}")
+        + "\n"
+        + note
+    )

@@ -9,7 +9,7 @@ shadow of stored words so the fault-injection experiments can corrupt
 and decode real cache contents.
 """
 
-from repro.memory.bus import Bus, ContentionModel
+from repro.memory.bus import CONTENTION_MODES, Bus, ContentionModel
 from repro.memory.cache import CacheAccessResult, SetAssociativeCache
 from repro.memory.config import (
     CacheConfig,
@@ -24,6 +24,7 @@ from repro.memory.write_buffer import WriteBuffer
 
 __all__ = [
     "Bus",
+    "CONTENTION_MODES",
     "CacheAccessResult",
     "CacheConfig",
     "ContentionModel",

@@ -28,6 +28,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 
+#: The interference accountings :class:`ContentionModel` understands.
+CONTENTION_MODES = ("none", "average", "worst")
+
+
 @dataclass
 class ContentionModel:
     """Interference added by other bus masters to each transaction."""
@@ -35,6 +39,16 @@ class ContentionModel:
     contenders: int = 0
     slot_cycles: int = 6
     mode: str = "none"  # "none" | "average" | "worst"
+
+    def __post_init__(self) -> None:
+        # Validate eagerly: delay() used to accept any mode whenever
+        # contenders <= 0, so a typo like mode="wrost" was silently a
+        # no-contention model on isolation configs.
+        if self.mode not in CONTENTION_MODES:
+            raise ValueError(
+                f"unknown contention mode {self.mode!r}; "
+                f"expected one of {CONTENTION_MODES}"
+            )
 
     def delay(self) -> int:
         """Cycles of interference charged to one transaction."""
@@ -73,6 +87,14 @@ class RoundRobinArbiter:
     bound the analytic ``worst`` contention mode charges [Dasari 2011].
     The clamp also absorbs the small out-of-order arrival skew the
     lockstep scheduler can introduce between cores.
+
+    Grant order is **first-come-first-served with that clamp**: requests
+    are granted in the order :meth:`acquire` is called, regardless of
+    which master issues them — the lockstep scheduler already steps the
+    cores in a fixed order, so same-cycle requests arrive (and are
+    granted) in core order.  The arbiter keeps no slot pointer or
+    last-granted-master state; the round-robin *bound* is what it
+    enforces, not a slot schedule.
     """
 
     def __init__(self, *, masters: int = 4, slot_cycles: int = 6) -> None:
@@ -81,7 +103,6 @@ class RoundRobinArbiter:
         self.masters = masters
         self.slot_cycles = slot_cycles
         self.busy_until = 0
-        self.last_master: Optional[int] = None
         self.stats = ArbiterStatistics()
 
     @property
@@ -104,14 +125,12 @@ class RoundRobinArbiter:
         end = start + duration
         if end > self.busy_until:
             self.busy_until = end
-        self.last_master = master
         self.stats.grants += 1
         self.stats.wait_cycles += wait
         return wait
 
     def reset(self) -> None:
         self.busy_until = 0
-        self.last_master = None
         self.stats = ArbiterStatistics()
 
 

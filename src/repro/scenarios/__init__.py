@@ -19,6 +19,7 @@ from repro.scenarios.registry import (
     get_scenario,
     register_scenario,
     scenario_description,
+    scenario_interference,
     scenario_names,
 )
 from repro.scenarios.spec import FaultSpec, SimulationSpec
@@ -30,5 +31,6 @@ __all__ = [
     "get_scenario",
     "register_scenario",
     "scenario_description",
+    "scenario_interference",
     "scenario_names",
 ]

@@ -48,6 +48,19 @@ def scenario_description(name: str) -> str:
     return _DESCRIPTIONS.get(name.strip().lower(), "")
 
 
+def scenario_interference(name: str) -> Optional[InterferenceScenario]:
+    """The interference component of the named scenario.
+
+    This is what the fault-campaign sweep grid consumes: its policy axis
+    is separate, so a scenario name only contributes the contention
+    setting under which the faulty runs execute.  ``None`` means the
+    task runs in isolation (the historical campaign behaviour — specs
+    built that way hash identically to pre-sweep campaign points, so old
+    stores keep resuming).
+    """
+    return get_scenario(name).interference
+
+
 def get_scenario(name: str, **overrides) -> SimulationSpec:
     """Build the named scenario's spec, optionally overriding fields.
 
@@ -105,6 +118,32 @@ def _register_builtins() -> None:
             "all other cores busy, full round-robin round per transaction",
         ),
     )
+    # Policy-agnostic interference scenarios: what the fault-campaign
+    # sweep grid combines with its own policy axis.  "isolation" keeps
+    # interference=None (the historical single-core campaign spec, so
+    # its points hash identically to pre-sweep stores).
+    register_scenario(
+        "isolation",
+        lambda: SimulationSpec(),
+        description="task alone on the SoC, no interference (campaign default)",
+    )
+    for scenario_name, mode, text in wcet_settings[1:]:
+
+        def interference_factory(
+            scenario_name: str = scenario_name, mode: str = mode
+        ) -> SimulationSpec:
+            return SimulationSpec(
+                interference=InterferenceScenario(
+                    scenario_name, _default_contenders(), mode
+                )
+            )
+
+        register_scenario(
+            scenario_name,
+            interference_factory,
+            description=f"any policy with {text}",
+        )
+
     for policy_kind, label in (
         (EccPolicyKind.LAEC, "laec"),
         (EccPolicyKind.WT_PARITY, "wt-parity"),

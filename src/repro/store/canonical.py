@@ -102,6 +102,20 @@ def canonical_dict(spec: SimulationSpec) -> Dict[str, Any]:
             "bit": spec.fault.bit,
             "at_access": spec.fault.at_access,
         }
+        if spec.fault.target == "l2":
+            # The outcome of an L2-targeted point depends on the L2
+            # protection, which is derived from the policy (SECDED for
+            # protected deployments, bare words for the unprotected
+            # baseline).  Schema v1 assumed an always-SECDED L2, so the
+            # code is encoded only when it deviates from that
+            # assumption: every historical key stays stable, while
+            # points whose semantics changed (no-ecc × l2) hash afresh
+            # instead of resuming stale stored outcomes.
+            from repro.campaign.replay import l2_code_for_policy
+
+            code = l2_code_for_policy(make_policy(spec.policy))
+            if code.name != "secded":
+                fault["l2_code"] = code.name
     return {
         "v": SCHEMA_VERSION,
         "kernel": spec.kernel,

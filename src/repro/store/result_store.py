@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 import pathlib
 import sqlite3
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -87,6 +87,32 @@ class ResultStore:
             "INSERT OR REPLACE INTO results (key, kind, spec, payload) "
             "VALUES (?, ?, ?, ?)",
             (key, kind, spec_json, json.dumps(payload, sort_keys=True)),
+        )
+        self._connection.commit()
+
+    def put_many(
+        self,
+        rows: Iterable[Tuple[str, Dict[str, object], str]],
+        *,
+        kind: str = "",
+    ) -> None:
+        """Insert or overwrite many ``(key, payload, spec_json)`` rows.
+
+        All rows land in **one** SQLite transaction (``executemany``),
+        so batch writers — the campaign engine writes one batch of
+        injection points at a time — pay one fsync per batch instead of
+        one per point.  Equivalent to calling :meth:`put` per row.
+        """
+        prepared = [
+            (key, kind, spec_json, json.dumps(payload, sort_keys=True))
+            for key, payload, spec_json in rows
+        ]
+        if not prepared:
+            return
+        self._connection.executemany(
+            "INSERT OR REPLACE INTO results (key, kind, spec, payload) "
+            "VALUES (?, ?, ?, ?)",
+            prepared,
         )
         self._connection.commit()
 

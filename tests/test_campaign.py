@@ -164,21 +164,45 @@ class TestArchitecturalReplay:
             model.load(0x1000 + way * hierarchy.l1d.sets * line_bytes, 4)
         assert model.load(0x1000, 4) == 0x22222222
 
-    def test_l2_target_is_always_corrected(self):
+    @pytest.mark.parametrize("policy", ["extra-cycle", "extra-stage", "laec"])
+    def test_l2_target_under_protected_deployment_is_always_corrected(self, policy):
         word, at_access = _load_after_store_point(self.KERNEL, self.SCALE)
         spec = SimulationSpec(
             kernel=self.KERNEL,
             scale=self.SCALE,
-            policy="no-ecc",
+            policy=policy,
             fault=FaultSpec(
                 target="l2", word_address=word, bit=2, at_access=at_access
             ),
         )
         result = run_injection(spec)
-        # The paper's L2 is SECDED-protected: a single flip is healed on
-        # the next read (or never observed at all).
+        # Protected deployments pair their DL1 scheme with a SECDED L2:
+        # a single flip is healed on the next read (or never observed).
         assert result.outcome in (ArchOutcome.CORRECTED, ArchOutcome.MASKED)
         assert result.outcome is not ArchOutcome.SILENT_DATA_CORRUPTION
+
+    def test_l2_code_follows_the_deployment(self):
+        from repro.campaign.replay import RawWordCode, l2_code_for_policy
+        from repro.core.policies import make_policy
+
+        assert isinstance(l2_code_for_policy(make_policy("no-ecc")), RawWordCode)
+        for policy in ("extra-cycle", "extra-stage", "laec", "wt-parity"):
+            assert l2_code_for_policy(make_policy(policy)).name == "secded"
+
+    def test_l2_flip_in_unprotected_baseline_can_silently_corrupt(self):
+        # The no-ecc baseline is the fully unprotected hierarchy: its L2
+        # stores bare words, so a flip observed by a later refill
+        # propagates exactly like a DL1 flip.  Sample the stratum the
+        # sweep grid would run and require at least one SDC.
+        outcomes = set()
+        for fault in sample_faults(
+            self.KERNEL, self.SCALE, "no-ecc", 12, seed=2019, target="l2"
+        ):
+            spec = SimulationSpec(
+                kernel=self.KERNEL, scale=self.SCALE, policy="no-ecc", fault=fault
+            )
+            outcomes.add(run_injection(spec).outcome)
+        assert ArchOutcome.SILENT_DATA_CORRUPTION in outcomes
 
     def test_corrupted_jump_target_crashes_detectably(self):
         # A flipped high bit of a loaded function pointer sends the
@@ -280,6 +304,88 @@ class TestSampling:
         assert all(p.bit < 33 for p in parity)
         assert all(p.bit < 32 for p in raw)
 
+    def test_any_window_is_byte_identical_even_out_of_order(self):
+        from repro.campaign import clear_sample_cursors
+
+        clear_sample_cursors()
+        whole = sample_faults("rspeed", 0.1, "laec", 12, seed=2019)
+        # Windows requested out of order (each may rewind the cursor).
+        for start, count in ((6, 3), (0, 5), (9, 3), (3, 4), (0, 12)):
+            window = sample_faults(
+                "rspeed", 0.1, "laec", count, seed=2019, start=start
+            )
+            assert window == whole[start : start + count], (start, count)
+
+    def test_sequential_batches_cost_linear_rng_draws(self):
+        # Regression: sample_faults used to regenerate each stratum's
+        # sequence from index 0 on every batch, costing O(N^2) draws for
+        # an N-trial stratum.  The per-stratum cursor must keep the
+        # engine's sequential batch pattern at exactly N draws.
+        from repro.campaign import (
+            clear_sample_cursors,
+            point_draw_count,
+            reset_draw_count,
+        )
+
+        clear_sample_cursors()
+        reset_draw_count()
+        total, batch = 48, 8
+        collected = []
+        for start in range(0, total, batch):
+            collected += sample_faults(
+                "rspeed", 0.1, "extra-cycle", batch, seed=2019, start=start
+            )
+        assert len(collected) == total
+        assert point_draw_count() == total  # O(N), not O(N^2)
+        clear_sample_cursors()
+        assert collected == sample_faults(
+            "rspeed", 0.1, "extra-cycle", total, seed=2019
+        )
+
+    def test_l2_points_cover_the_working_set_with_l2_bit_widths(self):
+        from repro.campaign import kernel_fault_space
+
+        space = kernel_fault_space("rspeed", 0.1)
+        secded = sample_faults("rspeed", 0.1, "laec", 64, seed=1, target="l2")
+        raw = sample_faults("rspeed", 0.1, "no-ecc", 64, seed=1, target="l2")
+        assert all(p.target == "l2" for p in secded + raw)
+        # Protected deployments store 39-bit SECDED codewords in the L2;
+        # the unprotected baseline stores bare 32-bit words.
+        assert all(p.bit < 39 for p in secded)
+        assert any(p.bit >= 32 for p in secded)
+        assert all(p.bit < 32 for p in raw)
+        # The L2 population is the whole working set, not just the words
+        # touched before the injection ordinal.
+        assert {p.word_address for p in secded} <= set(space.first_touch)
+
+    def test_stratum_identity_extends_only_for_non_default_dimensions(self):
+        from repro.campaign import stratum_identity
+
+        # Default dimensions keep the historical identity, so existing
+        # DL1-only campaigns reproduce byte-identically.
+        assert stratum_identity(2019, "rspeed", "laec") == "campaign:2019:rspeed:laec"
+        assert (
+            stratum_identity(2019, "rspeed", "laec", target="dl1", scenario="isolation")
+            == "campaign:2019:rspeed:laec"
+        )
+        assert "target=l2" in stratum_identity(2019, "rspeed", "laec", target="l2")
+        assert "scenario=worst" in stratum_identity(
+            2019, "rspeed", "laec", scenario="worst"
+        )
+
+    def test_target_and_scenario_strata_draw_independent_streams(self):
+        dl1 = sample_faults("rspeed", 0.1, "no-ecc", 10, seed=2019)
+        l2 = sample_faults("rspeed", 0.1, "no-ecc", 10, seed=2019, target="l2")
+        contended = sample_faults(
+            "rspeed", 0.1, "no-ecc", 10, seed=2019, scenario="laec-worst"
+        )
+        assert [p.at_access for p in dl1] != [p.at_access for p in l2]
+        assert [p.at_access for p in dl1] != [p.at_access for p in contended]
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            sample_faults("rspeed", 0.1, "laec", 4, seed=1, target="dram")
+
 
 # --------------------------------------------------------------------- #
 # the campaign engine                                                   #
@@ -367,6 +473,135 @@ class TestCampaignEngine:
         assert sharded.render() == serial.render()
 
 
+class TestSweepGrid:
+    """The multi-dimensional sweep: targets x scenarios x scales."""
+
+    CONFIG = CampaignConfig(
+        kernels=("canrdr",),
+        policies=("no-ecc", "extra-cycle"),
+        scale=0.1,
+        trials=12,
+        batch=6,
+        seed=2019,
+        targets=("dl1", "l2"),
+        scenarios=("isolation", "laec-worst"),
+    )
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_campaign(self.CONFIG)
+
+    def test_grid_enumerates_every_stratum_in_order(self, result):
+        coordinates = [
+            (s.kernel, s.policy, s.target, s.scenario, s.scale)
+            for s in result.strata
+        ]
+        assert coordinates == list(self.CONFIG.strata())
+        assert len(coordinates) == 1 * 2 * 2 * 2 * 1
+
+    def test_l2_reliability_ordering(self, result):
+        # The acceptance property: SECDED L2 strata show zero SDC while
+        # the unprotected baseline's L2 strata show real silent
+        # corruption.
+        for scenario in self.CONFIG.scenarios:
+            secded = result.stratum(
+                "canrdr", "extra-cycle", target="l2", scenario=scenario
+            )
+            assert secded.counts["sdc"] == 0, scenario
+        totals = result.target_totals()
+        assert totals[("l2", "no-ecc")]["sdc"] > 0
+        assert totals[("l2", "extra-cycle")]["sdc"] == 0
+        assert totals[("l2", "extra-cycle")]["corrected"] > 0
+
+    def test_marginals_are_consistent(self, result):
+        policy = result.policy_totals()
+        by_target = result.target_totals()
+        by_scenario = result.scenario_totals()
+        for value in self.CONFIG.policies:
+            for key in ("trials", "sdc", "corrected", "masked"):
+                assert policy[value][key] == sum(
+                    bucket[key]
+                    for (target, p), bucket in by_target.items()
+                    if p == value
+                )
+                assert policy[value][key] == sum(
+                    bucket[key]
+                    for (scenario, p), bucket in by_scenario.items()
+                    if p == value
+                )
+
+    def test_render_shows_sweep_columns_only_when_swept(self, result):
+        text = result.render()
+        for header in ("target", "scenario", "l2", "laec-worst"):
+            assert header in text
+        plain = run_campaign(
+            CampaignConfig(
+                kernels=("rspeed",), policies=("no-ecc",), scale=0.1, trials=2, batch=2
+            )
+        ).render()
+        assert "target" not in plain
+        assert "scenario" not in plain
+
+    def test_scenario_dimension_reaches_the_spec(self):
+        from repro.scenarios import get_scenario
+
+        interference = CampaignConfig.scenario_interference("laec-worst")
+        assert interference == get_scenario("laec-worst").interference
+        assert CampaignConfig.scenario_interference("isolation") is None
+
+    def test_scale_axis_sweeps_multiple_scales(self):
+        config = CampaignConfig(
+            kernels=("rspeed",),
+            policies=("no-ecc",),
+            scale=0.1,
+            scales=(0.1, 0.2),
+            trials=2,
+            batch=2,
+            seed=2019,
+        )
+        result = run_campaign(config)
+        assert [s.scale for s in result.strata] == [0.1, 0.2]
+        text = result.render()
+        assert "scale" in text and "0.2" in text
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(kernels=("rspeed",), targets=("dram",))
+        with pytest.raises(ValueError):
+            CampaignConfig(kernels=("rspeed",), scenarios=("no-such-scenario",))
+        with pytest.raises(ValueError):
+            CampaignConfig(kernels=("rspeed",), scales=(0.0,))
+        with pytest.raises(ValueError):
+            CampaignConfig(kernels=("rspeed",), targets=())
+
+    def test_sweep_resumes_across_all_dimensions(self, tmp_path):
+        path = tmp_path / "sweep.sqlite"
+        half = CampaignConfig(
+            kernels=self.CONFIG.kernels,
+            policies=self.CONFIG.policies,
+            scale=self.CONFIG.scale,
+            trials=6,
+            batch=6,
+            seed=self.CONFIG.seed,
+            targets=self.CONFIG.targets,
+            scenarios=self.CONFIG.scenarios,
+        )
+        with ResultStore(path) as store:
+            partial = run_campaign(half, store=store, resume=True)
+            assert partial.simulated == partial.points == 48
+        with ResultStore(path) as store:
+            resumed = run_campaign(self.CONFIG, store=store, resume=True)
+            assert resumed.store_hits == 48
+            assert resumed.simulated == resumed.points - 48
+            # Unified accounting: the campaign's counters mirror the
+            # store's for exactly the lookups this campaign performed.
+            assert resumed.store_misses == resumed.simulated
+            assert store.hits == resumed.store_hits
+            assert store.misses == resumed.store_misses
+        fresh = run_campaign(self.CONFIG)
+        assert resumed.render() == fresh.render()
+
+
 class TestCampaignResume:
     CONFIG = CampaignConfig(
         kernels=("rspeed",),
@@ -391,11 +626,19 @@ class TestCampaignResume:
         with ResultStore(path) as store:
             partial = run_campaign(half, store=store, resume=True)
             assert partial.simulated == 10 and partial.store_hits == 0
+            # Unified accounting: every resume lookup that missed was
+            # simulated, and the campaign's counters mirror the store's.
+            assert partial.store_misses == partial.simulated == store.misses
+            assert store.hits == partial.store_hits == 0
         # Resume with the full trial budget: only the missing half runs.
         with ResultStore(path) as store:
             resumed = run_campaign(self.CONFIG, store=store, resume=True)
             assert resumed.store_hits == 10
             assert resumed.simulated == 10
+            assert resumed.store_misses == resumed.simulated
+            assert store.hits == resumed.store_hits
+            assert store.misses == resumed.store_misses
+            assert resumed.store_hits + resumed.simulated == resumed.points
             assert len(store) == 20
         # And the summary is byte-identical to a fresh, uninterrupted run.
         fresh = run_campaign(self.CONFIG)
@@ -415,9 +658,14 @@ class TestCampaignResume:
         with ResultStore(path) as store:
             run_campaign(self.CONFIG, store=store, resume=True)
             first_hits = store.hits
+            first_misses = store.misses
             rerun = run_campaign(self.CONFIG, store=store, resume=False)
             assert rerun.simulated == 20
             assert store.hits == first_hits  # no reads without --resume
+            # No lookups means no hit/miss accounting on either side:
+            # the campaign's counters stay in lockstep with the store's.
+            assert store.misses == first_misses
+            assert rerun.store_hits == rerun.store_misses == 0
 
 
 # --------------------------------------------------------------------- #
@@ -473,6 +721,52 @@ class TestCampaignCli:
         second = capsys.readouterr()
         assert "simulated=0" in second.err
         assert "store-hits=4" in second.err
+
+    def test_l2_target_sweep_through_the_cli(self, tmp_path, capsys):
+        # End-to-end L2 injection: FAULT_TARGETS has always advertised
+        # "l2"; the CLI must actually sample and replay it.
+        from repro import __main__ as cli
+
+        out = tmp_path / "l2_summary.txt"
+        code = cli.main(
+            [
+                "campaign",
+                "--kernels",
+                "rspeed",
+                "--policies",
+                "no-ecc,extra-cycle",
+                "--targets",
+                "dl1,l2",
+                "--scenarios",
+                "isolation,worst",
+                "--trials",
+                "2",
+                "--batch",
+                "2",
+                "--scale",
+                "0.1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "simulated=16" in captured.err  # 1 kernel x 2 x 2 x 2 x 2
+        text = out.read_text(encoding="utf-8")
+        assert "target" in text and "l2" in text
+        assert "scenario" in text and "worst" in text
+
+    def test_unknown_target_is_a_clean_cli_error(self, capsys):
+        from repro import __main__ as cli
+
+        assert cli.main(["campaign", "--targets", "dram"]) == 2
+        assert "fault target" in capsys.readouterr().err
+
+    def test_sweep_summary_experiment_is_registered(self):
+        from repro.experiments import get_experiment
+
+        experiment = get_experiment("sweep_summary")
+        assert experiment.artifact == "sweep_summary"
 
     def test_resume_without_store_is_an_error(self, capsys):
         from repro import __main__ as cli

@@ -102,6 +102,27 @@ class TestArbiter:
         assert arbiter.busy_until == 0
         assert arbiter.stats.grants == 0
 
+    def test_simultaneous_requests_are_granted_in_call_order(self):
+        # Pins the grant-order semantics: first-come-first-served in
+        # acquire() call order (the lockstep scheduler steps cores in a
+        # fixed order, so same-cycle requests arrive in core order),
+        # with each wait clamped to one round of the other masters.
+        # Master identity does not reorder grants.
+        arbiter = RoundRobinArbiter(masters=4, slot_cycles=6)
+        waits = [arbiter.acquire(master, 0, 6) for master in (3, 1, 2, 0)]
+        assert waits == [0, 6, 12, 18]
+        assert arbiter.stats.capped_waits == 0
+        # A fifth same-cycle request would exceed one round: clamped.
+        assert arbiter.acquire(3, 0, 6) == arbiter.max_wait
+        assert arbiter.stats.capped_waits == 1
+
+    def test_arbiter_keeps_no_grant_history_state(self):
+        # The FCFS-with-clamp policy needs no last-granted-master state;
+        # the attribute was write-only and has been removed.
+        arbiter = RoundRobinArbiter(masters=2)
+        arbiter.acquire(1, 0, 6)
+        assert not hasattr(arbiter, "last_master")
+
 
 class TestCoSimulation:
     def test_single_task_equals_isolation(self):

@@ -31,6 +31,7 @@ EXPECTED_EXPERIMENTS = {
     "ablation_sensitivity",
     "fault_campaign",
     "campaign_summary",
+    "sweep_summary",
 }
 
 EXPECTED_ARTIFACTS = {
@@ -44,6 +45,7 @@ EXPECTED_ARTIFACTS = {
     "ablation_sensitivity",
     "fault_campaign",
     "campaign_summary",
+    "sweep_summary",
 }
 
 

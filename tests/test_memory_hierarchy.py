@@ -20,9 +20,16 @@ class TestContentionModel:
     def test_average_half_round(self):
         assert ContentionModel(contenders=3, slot_cycles=6, mode="average").delay() == 9
 
-    def test_unknown_mode_rejected(self):
-        with pytest.raises(ValueError):
-            ContentionModel(contenders=1, mode="pessimal").delay()
+    def test_unknown_mode_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown contention mode"):
+            ContentionModel(contenders=1, mode="pessimal")
+
+    def test_unknown_mode_rejected_even_without_contenders(self):
+        # Regression: delay() returned 0 for any mode whenever
+        # contenders <= 0, so a typo like "wrost" was silently accepted
+        # on isolation configs and only exploded when contenders rose.
+        with pytest.raises(ValueError, match="wrost"):
+            ContentionModel(contenders=0, mode="wrost")
 
 
 class TestBus:

@@ -139,6 +139,27 @@ class TestRegistry:
         )
         assert worst.cycles > isolation.cycles
 
+    def test_policy_agnostic_interference_scenarios_registered(self):
+        names = scenario_names()
+        for name in ("isolation", "average", "worst"):
+            assert name in names
+        assert get_scenario("isolation").interference is None
+        assert get_scenario("average").interference.mode == "average"
+        assert get_scenario("worst").interference.mode == "worst"
+        assert get_scenario("worst").interference.contenders > 0
+
+    def test_scenario_interference_resolves_the_contention_component(self):
+        from repro.scenarios import scenario_interference
+
+        # The campaign grid consumes only the interference component;
+        # "isolation" maps to None so sweep specs hash identically to
+        # the historical single-dimension campaign specs.
+        assert scenario_interference("isolation") is None
+        worst = scenario_interference("laec-worst")
+        assert worst is not None and worst.mode == "worst"
+        with pytest.raises(KeyError):
+            scenario_interference("no-such-scenario")
+
     def test_unknown_scenario_raises(self):
         with pytest.raises(KeyError):
             get_scenario("no-such-scenario")

@@ -85,6 +85,29 @@ class TestHashDiscrimination:
         two = base.with_fault(FaultSpec(word_address=64, bit=2, at_access=5))
         assert spec_hash(one) != spec_hash(two)
 
+    def test_l2_fault_encoding_carries_the_deviating_l2_code(self):
+        # The outcome of an L2 point depends on the policy-derived L2
+        # protection.  Schema v1 assumed an always-SECDED L2, so the
+        # code appears in the canonical form only when it deviates from
+        # that assumption: protected deployments (and all DL1 targets)
+        # keep their historical keys, while no-ecc x l2 points — whose
+        # semantics changed from "always corrected" to "silently
+        # corrupts" — hash afresh instead of resuming stale outcomes.
+        fault = FaultSpec(target="l2", word_address=64, bit=3, at_access=5)
+        unprotected = SimulationSpec(kernel="canrdr", policy="no-ecc", fault=fault)
+        protected = SimulationSpec(kernel="canrdr", policy="laec", fault=fault)
+        dl1 = SimulationSpec(
+            kernel="canrdr",
+            policy="no-ecc",
+            fault=dataclasses.replace(fault, target="dl1"),
+        )
+        assert canonical_dict(unprotected)["fault"]["l2_code"] == "raw"
+        assert "l2_code" not in canonical_dict(protected)["fault"]
+        assert "l2_code" not in canonical_dict(dl1)["fault"]
+        # And the extra key round-trips to a stable hash.
+        rebuilt = spec_from_canonical(canonical_json(unprotected))
+        assert spec_hash(rebuilt) == spec_hash(unprotected)
+
     def test_schema_version_is_enforced(self):
         payload = canonical_dict(SimulationSpec(kernel="matrix"))
         payload["v"] = 99

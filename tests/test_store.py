@@ -41,6 +41,37 @@ class TestResultStore:
             assert len(store) == 1
             assert store.get("k") == {"v": 2}
 
+    def test_put_many_matches_per_row_put(self):
+        rows = [
+            ("a", {"v": 1}, '{"spec":"a"}'),
+            ("b", {"v": 2}, '{"spec":"b"}'),
+            ("c", {"v": 3}, ""),
+        ]
+        with ResultStore(":memory:") as batched, ResultStore(":memory:") as serial:
+            batched.put_many(rows, kind="injection")
+            for key, payload, spec_json in rows:
+                serial.put(key, payload, spec_json=spec_json, kind="injection")
+            assert len(batched) == len(serial) == 3
+            for key, payload, spec_json in rows:
+                assert batched.get(key) == serial.get(key) == payload
+                assert batched.spec_json(key) == serial.spec_json(key) == spec_json
+            assert batched.count("injection") == 3
+
+    def test_put_many_overwrites_and_accepts_empty(self):
+        with ResultStore(":memory:") as store:
+            store.put("k", {"v": 1})
+            store.put_many([])  # no-op, no error
+            store.put_many([("k", {"v": 2}, "")], kind="test")
+            assert store.get("k") == {"v": 2}
+            assert len(store) == 1
+
+    def test_put_many_lands_whole_batch_and_commits(self):
+        with ResultStore(":memory:") as store:
+            before = store._connection.total_changes
+            store.put_many([(f"k{i}", {"v": i}, "") for i in range(50)])
+            assert store._connection.total_changes - before == 50
+            assert not store._connection.in_transaction  # committed
+
     def test_persists_across_reopen(self, tmp_path):
         path = tmp_path / "store.sqlite"
         with ResultStore(path) as store:
