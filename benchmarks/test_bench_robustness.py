@@ -1,0 +1,236 @@
+"""Robustness-overhead benchmark — writes ``BENCH_6.json``.
+
+PR 6 routed every campaign through the execution supervisor and made
+every store row checksummed and self-verifying. This benchmark prices
+that fault-tolerance layer on the exact BENCH_5 sweep grid:
+
+* **sweep, cold / store cold / store warm** — the BENCH_5 regimes, now
+  running under the supervisor with checksummed writes;
+* **robustness overhead share** — the full per-campaign cost of the
+  integrity layer (checksumming every payload + the batched store
+  write carrying it) measured against the store-cold sweep wall-clock,
+  asserted < 5 %;
+* **verify / repair scan** — full-store integrity scan rate over the
+  populated sweep store.
+
+If a ``BENCH_5.json`` from the same machine is present, the cold-sweep
+throughput is compared against it with a generous guard (the two runs
+may straddle machine-load changes); the strict 5 % bound is enforced on
+the in-run overhead share, which is load-independent.
+
+Marked ``perf`` so the default test run stays fast; run explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_robustness.py -m perf -q
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+
+import pytest
+
+from repro.campaign import CampaignConfig, run_campaign
+from repro.store import ResultStore, payload_checksum
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The BENCH_5 grid, unchanged, so overheads are apples-to-apples.
+CONFIG = CampaignConfig(
+    kernels=("canrdr", "matrix"),
+    policies=("no-ecc", "extra-cycle"),
+    scale=0.1,
+    trials=12,
+    batch=6,
+    seed=2019,
+    targets=("dl1", "l2"),
+    scenarios=("isolation", "laec-worst"),
+)
+
+CHECKSUM_REPEATS = 50
+WRITE_REPEATS = 5
+#: Checksums + the store write carrying them must stay a rounding
+#: error on the campaign they protect.
+MAX_OVERHEAD_SHARE = 0.05
+#: Cross-run guard vs BENCH_5 cold throughput (generous: the two
+#: measurements may be separated by machine-load changes).
+MIN_THROUGHPUT_VS_BENCH5 = 0.5
+
+
+def _timed(label, fn):
+    started = time.perf_counter()
+    result = fn()
+    seconds = time.perf_counter() - started
+    return {
+        "name": label,
+        "points": result.points,
+        "strata": len(result.strata),
+        "simulated": result.simulated,
+        "store_hits": result.store_hits,
+        "quarantined": result.quarantined_points,
+        "seconds": seconds,
+        "points_per_second": result.points / seconds if seconds > 0 else 0.0,
+    }
+
+
+@pytest.mark.perf
+def test_bench_robustness_overhead(tmp_path):
+    rows = []
+    rows.append(_timed("sweep_cold", lambda: run_campaign(CONFIG)))
+
+    store_path = tmp_path / "bench_robustness.sqlite"
+    with ResultStore(store_path) as store:
+        rows.append(
+            _timed(
+                "sweep_store_cold",
+                lambda: run_campaign(CONFIG, store=store, resume=True),
+            )
+        )
+    with ResultStore(store_path) as store:
+        rows.append(
+            _timed(
+                "sweep_store_warm",
+                lambda: run_campaign(CONFIG, store=store, resume=True),
+            )
+        )
+
+        # Price the checksum against the batched write it protects:
+        # re-write every payload of the populated store into a scratch
+        # store (the real put_many path, checksums included), then time
+        # the bare checksum computation over the same payload texts.
+        payloads = list(store.iter_rows())
+    texts = [
+        json.dumps(payload, sort_keys=True)
+        for _key, payload, _kind in payloads
+    ]
+
+    write_rows = [(key, payload, "") for key, payload, _kind in payloads]
+    write_samples = []
+    for repeat in range(WRITE_REPEATS):
+        with ResultStore(tmp_path / f"scratch{repeat}.sqlite") as scratch:
+            started = time.perf_counter()
+            scratch.put_many(write_rows, kind="injection")
+            write_samples.append(time.perf_counter() - started)
+    write_seconds = sum(write_samples) / len(write_samples)
+
+    started = time.perf_counter()
+    for _ in range(CHECKSUM_REPEATS):
+        for text in texts:
+            payload_checksum(text)
+    checksum_seconds = (time.perf_counter() - started) / CHECKSUM_REPEATS
+
+    # The integrity layer's whole per-campaign bill: checksum every
+    # payload once plus the batched write that persists it, priced
+    # against the store-cold sweep that produced those payloads.
+    store_cold_seconds = next(
+        row["seconds"] for row in rows if row["name"] == "sweep_store_cold"
+    )
+    overhead_share = (
+        (write_seconds + checksum_seconds) / store_cold_seconds
+        if store_cold_seconds > 0
+        else 0.0
+    )
+    rows.append(
+        {
+            "name": "robustness_overhead",
+            "rows": len(payloads),
+            "write_seconds": write_seconds,
+            "checksum_seconds": checksum_seconds,
+            "checksum_share_of_write": (
+                checksum_seconds / write_seconds if write_seconds > 0 else 0.0
+            ),
+            "overhead_share_of_sweep": overhead_share,
+        }
+    )
+    assert overhead_share < MAX_OVERHEAD_SHARE, (
+        f"checksummed store writes cost {overhead_share:.1%} of the "
+        f"campaign they protect (budget {MAX_OVERHEAD_SHARE:.0%})"
+    )
+
+    # Integrity-scan rate over the populated sweep store.
+    with ResultStore(store_path) as store:
+        started = time.perf_counter()
+        report = store.verify()
+        verify_seconds = time.perf_counter() - started
+        assert report.clean
+        started = time.perf_counter()
+        store.repair()
+        repair_seconds = time.perf_counter() - started
+    rows.append(
+        {
+            "name": "store_integrity_scan",
+            "rows": report.total,
+            "verify_seconds": verify_seconds,
+            "repair_seconds": repair_seconds,
+            "rows_per_second": (
+                report.total / verify_seconds if verify_seconds > 0 else 0.0
+            ),
+        }
+    )
+
+    by_name = {row["name"]: row for row in rows}
+    # The supervised warm sweep is still a pure store sweep...
+    assert by_name["sweep_store_warm"]["simulated"] == 0
+    assert (
+        by_name["sweep_store_warm"]["store_hits"]
+        == by_name["sweep_store_warm"]["points"]
+    )
+    # ... still dramatically faster than simulating ...
+    assert (
+        by_name["sweep_store_warm"]["points_per_second"]
+        >= 5.0 * by_name["sweep_store_cold"]["points_per_second"]
+    ), "store hits are not cheaper than sweep simulation under the supervisor"
+    # ... and nothing was quarantined (no chaos in a benchmark run).
+    assert all(row.get("quarantined", 0) == 0 for row in rows)
+
+    # Cross-run guard vs BENCH_5, when one exists on this machine.
+    bench5_path = REPO_ROOT / "BENCH_5.json"
+    bench5_cold = None
+    if bench5_path.exists():
+        bench5 = json.loads(bench5_path.read_text(encoding="utf-8"))
+        bench5_rows = {row["name"]: row for row in bench5.get("benchmarks", [])}
+        bench5_cold = bench5_rows.get("sweep_cold", {}).get("points_per_second")
+    if bench5_cold:
+        ratio = by_name["sweep_cold"]["points_per_second"] / bench5_cold
+        rows.append(
+            {
+                "name": "supervised_vs_bench5_cold",
+                "bench5_points_per_second": bench5_cold,
+                "bench6_points_per_second": by_name["sweep_cold"][
+                    "points_per_second"
+                ],
+                "throughput_ratio": ratio,
+            }
+        )
+        assert ratio >= MIN_THROUGHPUT_VS_BENCH5, (
+            f"supervised sweep runs at {ratio:.2f}x the BENCH_5 cold "
+            f"throughput (floor {MIN_THROUGHPUT_VS_BENCH5}x)"
+        )
+
+    report_out = {
+        "schema": "repro-robustness-bench/1",
+        "created_unix": time.time(),
+        "platform": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "kernels": list(CONFIG.kernels),
+            "policies": list(CONFIG.policies),
+            "targets": list(CONFIG.targets),
+            "scenarios": list(CONFIG.scenarios),
+            "scale": CONFIG.scale,
+            "trials_per_stratum": CONFIG.trials,
+            "batch": CONFIG.batch,
+            "seed": CONFIG.seed,
+            "checksum_repeats": CHECKSUM_REPEATS,
+            "write_repeats": WRITE_REPEATS,
+            "max_overhead_share": MAX_OVERHEAD_SHARE,
+        },
+        "benchmarks": rows,
+    }
+    out = REPO_ROOT / "BENCH_6.json"
+    out.write_text(json.dumps(report_out, indent=2) + "\n", encoding="utf-8")

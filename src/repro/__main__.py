@@ -16,6 +16,15 @@ Architectural fault-injection campaigns get their own subcommand::
     python -m repro campaign --kernels all --ci-target 0.05 --workers 0
     python -m repro campaign --kernels matrix,canrdr \
         --targets dl1,l2 --scenarios isolation,laec-worst   # sweep grid
+    python -m repro campaign --kernels all --workers 0 \
+        --point-timeout 30 --max-retries 3     # supervised: hung points
+                                               # killed, crashes retried,
+                                               # poison points quarantined
+
+Result stores can be checked and healed in place::
+
+    python -m repro store campaign.sqlite --verify   # checksum scan
+    python -m repro store campaign.sqlite --repair   # drop corrupt rows
 """
 
 from __future__ import annotations
@@ -239,6 +248,61 @@ def _build_campaign_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-point wall-clock watchdog: a replay exceeding it is "
+            "killed, retried, and quarantined after --max-retries "
+            "(needs a process boundary, so serial campaigns run their "
+            "points through a one-worker pool)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "retries per failed point (timeout / worker crash / replay "
+            "error) before it is quarantined (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="base of the exponential retry backoff (default: 0.1)",
+    )
+    parser.add_argument(
+        "--no-quarantine",
+        action="store_true",
+        help=(
+            "fail fast: re-raise a point's final error instead of "
+            "quarantining it and completing the campaign"
+        ),
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic harness-fault injection for tests/CI: "
+            "comma-separated kind@index[:always] directives, kinds "
+            "kill-worker, timeout, fail, kill-main, sigint "
+            '(e.g. "kill-worker@5,timeout@7:always")'
+        ),
+    )
+    parser.add_argument(
+        "--chaos-hang",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="how long a chaos timeout@ point hangs (default: 3600)",
+    )
+    parser.add_argument(
         "--out",
         type=pathlib.Path,
         default=None,
@@ -252,7 +316,13 @@ def _build_campaign_parser() -> argparse.ArgumentParser:
 
 
 def _run_campaign_command(argv: List[str]) -> int:
-    from repro.campaign import CampaignConfig, run_campaign
+    from repro.campaign import (
+        CampaignConfig,
+        CampaignError,
+        CampaignInterrupted,
+        parse_chaos,
+        run_campaign,
+    )
     from repro.store import ResultStore
     from repro.workloads import KERNEL_NAMES
 
@@ -290,6 +360,15 @@ def _run_campaign_command(argv: List[str]) -> int:
             targets=targets,
             scenarios=scenarios,
             scales=scales,
+            point_timeout=args.point_timeout,
+            max_retries=args.max_retries,
+            retry_backoff=args.retry_backoff,
+            quarantine=not args.no_quarantine,
+        )
+        chaos = (
+            parse_chaos(args.chaos, hang_seconds=args.chaos_hang)
+            if args.chaos is not None
+            else None
         )
     except ValueError as error:
         print(error, file=sys.stderr)
@@ -298,10 +377,23 @@ def _run_campaign_command(argv: List[str]) -> int:
         print("--resume needs --store PATH", file=sys.stderr)
         return 2
 
-    store = ResultStore(args.store) if args.store is not None else None
+    store = None
     started = time.perf_counter()
     try:
-        result = run_campaign(config, store=store, resume=args.resume)
+        store = ResultStore(args.store) if args.store is not None else None
+        result = run_campaign(config, store=store, resume=args.resume, chaos=chaos)
+    except CampaignInterrupted as error:
+        print(f"[campaign] error: {error}", file=sys.stderr)
+        return 3
+    except CampaignError as error:
+        print(f"[campaign] error: {error}", file=sys.stderr)
+        return 1
+    except Exception as error:  # noqa: BLE001 - structured exit, no traceback
+        print(
+            f"[campaign] error: internal: {type(error).__name__}: {error}",
+            file=sys.stderr,
+        )
+        return 1
     finally:
         if store is not None:
             store.close()
@@ -317,11 +409,87 @@ def _run_campaign_command(argv: List[str]) -> int:
     print(
         f"[campaign] strata={len(result.strata)} points={result.points} "
         f"simulated={result.simulated} store-hits={result.store_hits} "
-        f"store-misses={result.store_misses} in {elapsed:.1f}s "
+        f"store-misses={result.store_misses} "
+        f"quarantined={result.quarantined_points} "
+        f"retries={result.stats.retries} "
+        f"pool-restarts={result.stats.worker_restarts} in {elapsed:.1f}s "
         f"({rate:.1f} points/s)",
         file=sys.stderr,
     )
     return 0
+
+
+def _build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro store",
+        description=(
+            "Inspect and heal a result store: verify per-row payload "
+            "checksums, repair (drop corrupt rows so --resume "
+            "re-simulates them, backfill legacy checksums), or "
+            "deterministically corrupt a row (chaos testing)."
+        ),
+    )
+    parser.add_argument("path", type=pathlib.Path, help="the SQLite store file")
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="scan every row's checksum; exit 1 if any row is corrupt",
+    )
+    parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="drop corrupt rows and backfill legacy checksums",
+    )
+    parser.add_argument(
+        "--corrupt-row",
+        type=int,
+        default=None,
+        metavar="N",
+        help="chaos: bit-corrupt the N-th result row (by key order)",
+    )
+    return parser
+
+
+def _run_store_command(argv: List[str]) -> int:
+    from repro.campaign import CampaignError, corrupt_store_row
+    from repro.store import ResultStore
+
+    args = _build_store_parser().parse_args(argv)
+    if not args.path.exists():
+        print(f"no store at {args.path}", file=sys.stderr)
+        return 2
+    try:
+        if args.corrupt_row is not None:
+            key = corrupt_store_row(args.path, args.corrupt_row)
+            print(f"[store] corrupted row {args.corrupt_row} (key {key})")
+        with ResultStore(args.path) as store:
+            if args.repair:
+                report = store.repair()
+                print(f"[store] repair: {report.describe()}")
+                print(
+                    f"[store] quarantined points on file: "
+                    f"{store.quarantine_count()}"
+                )
+                return 0
+            report = store.verify()
+            print(f"[store] verify: {report.describe()}")
+            print(
+                f"[store] entries={len(store)} "
+                f"schema=v{store.schema_version} "
+                f"quarantined={store.quarantine_count()}"
+            )
+            if args.verify and not report.clean:
+                return 1
+            return 0
+    except CampaignError as error:
+        print(f"[store] error: {error}", file=sys.stderr)
+        return 1
+    except Exception as error:  # noqa: BLE001 - structured exit, no traceback
+        print(
+            f"[store] error: internal: {type(error).__name__}: {error}",
+            file=sys.stderr,
+        )
+        return 1
 
 
 def _list_experiments() -> str:
@@ -356,6 +524,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "campaign":
         return _run_campaign_command(argv[1:])
+    if argv and argv[0] == "store":
+        return _run_store_command(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 

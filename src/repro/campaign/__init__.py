@@ -19,6 +19,13 @@ propagation into the memory image (SDC) and pure timing deviations.
   checkpoint/resume through the content-addressed
   :class:`~repro.store.ResultStore`.
 * :mod:`repro.campaign.stats` — Wilson score intervals.
+* :mod:`repro.campaign.errors` — the failure taxonomy (``PointTimeout``,
+  ``WorkerCrash``, ``ReplayDivergence``, ``StoreCorruption``,
+  ``CampaignInterrupted``) the execution supervisor quarantines poison
+  points under.
+* :mod:`repro.campaign.chaos` — deterministic harness-fault injection
+  (kill a worker at point N, hang a point past the watchdog, corrupt a
+  store row) that makes the fault-tolerance layer testable end to end.
 
 Typical use::
 
@@ -31,6 +38,12 @@ Typical use::
     print(result.render())
 """
 
+from repro.campaign.chaos import (
+    ChaosDirective,
+    ChaosPlan,
+    corrupt_store_row,
+    parse_chaos,
+)
 from repro.campaign.engine import (
     FIGURE8_POLICY_VALUES,
     OUTCOME_KEYS,
@@ -39,6 +52,16 @@ from repro.campaign.engine import (
     StratumSummary,
     analytical_reference,
     run_campaign,
+)
+from repro.campaign.errors import (
+    CampaignError,
+    CampaignInterrupted,
+    PointTimeout,
+    QuarantinedPoint,
+    ReplayDivergence,
+    StoreCorruption,
+    SupervisorStats,
+    WorkerCrash,
 )
 from repro.campaign.replay import (
     ArchInjectionResult,
@@ -72,11 +95,23 @@ __all__ = [
     "ArchInjectionResult",
     "ArchOutcome",
     "CampaignConfig",
+    "CampaignError",
+    "CampaignInterrupted",
     "CampaignResult",
+    "ChaosDirective",
+    "ChaosPlan",
     "Dl1ContentModel",
     "KernelFaultSpace",
+    "PointTimeout",
+    "QuarantinedPoint",
     "RawWordCode",
+    "ReplayDivergence",
+    "StoreCorruption",
     "StratumSummary",
+    "SupervisorStats",
+    "WorkerCrash",
+    "corrupt_store_row",
+    "parse_chaos",
     "analytical_reference",
     "clear_sample_cursors",
     "dl1_code_for_policy",

@@ -20,16 +20,43 @@ target, the scenario's interference and the scale — so resume works
 across every dimension of the grid.  Because the sample sequence is
 prefix-deterministic and each point's outcome is deterministic, a
 resumed campaign renders byte-identical summaries.
+
+Execution is also **supervised**: a per-point watchdog
+(``point_timeout``) bounds hung replays, dead pool workers
+(``BrokenProcessPool``) respawn the pool and retry the unfinished shard
+with exponential backoff, and points that keep failing past
+``max_retries`` are **quarantined** — recorded with a structured error
+from the taxonomy in :mod:`repro.campaign.errors` (and in the store's
+quarantine table) so the campaign completes and reports them instead of
+dying.  SIGINT/SIGTERM flush the in-flight batch and checkpoint before
+raising :class:`~repro.campaign.errors.CampaignInterrupted`, so an
+interrupted campaign resumes byte-identically.  The whole layer is
+testable through the deterministic harness-fault injector in
+:mod:`repro.campaign.chaos`.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import Table
+from repro.campaign.errors import (
+    CampaignError,
+    CampaignInterrupted,
+    PointTimeout,
+    QuarantinedPoint,
+    SupervisorStats,
+    WorkerCrash,
+    wrap_point_error,
+)
 from repro.campaign.replay import ArchOutcome, run_injection
 from repro.campaign.sampling import DEFAULT_TARGET, ISOLATION_SCENARIO, sample_faults
 from repro.campaign.stats import DEFAULT_Z, wilson_half_width, wilson_interval
@@ -53,6 +80,13 @@ class CampaignConfig:
     faults during isolation runs at ``scale``), so existing configs keep
     meaning — and reproducing — exactly what they always did.
     ``scales`` empty means "just ``scale``".
+
+    ``point_timeout``/``max_retries``/``quarantine`` configure the
+    execution supervisor: a point that times out, crashes its worker or
+    raises is retried up to ``max_retries`` times (exponential backoff
+    from ``retry_backoff``); a point failing every attempt is quarantined
+    (``quarantine=True``, the default — the campaign completes and
+    reports it) or re-raised (``quarantine=False``, fail fast).
     """
 
     kernels: Tuple[str, ...]
@@ -77,6 +111,16 @@ class CampaignConfig:
     scenarios: Tuple[str, ...] = (ISOLATION_SCENARIO,)
     #: Kernel scales swept; empty = (scale,).
     scales: Tuple[float, ...] = ()
+    #: Per-point wall-clock watchdog in seconds (None = no watchdog).
+    #: Enforcing a timeout needs a process boundary, so a serial
+    #: campaign with a timeout runs its points through a one-worker pool.
+    point_timeout: Optional[float] = None
+    #: Failed-point retries before quarantine (0 = no retries).
+    max_retries: int = 2
+    #: Base of the exponential retry backoff, in seconds.
+    retry_backoff: float = 0.1
+    #: Quarantine poison points (True) or fail fast (False).
+    quarantine: bool = True
 
     def __post_init__(self) -> None:
         if not self.kernels:
@@ -103,6 +147,12 @@ class CampaignConfig:
         for scale in self.sweep_scales:
             if scale <= 0:
                 raise ValueError("campaign scales must be positive")
+        if self.point_timeout is not None and self.point_timeout <= 0:
+            raise ValueError("point_timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
 
     # -- the sweep grid -------------------------------------------------- #
     @property
@@ -143,6 +193,9 @@ class StratumSummary:
     target: str = DEFAULT_TARGET
     scenario: str = ISOLATION_SCENARIO
     scale: Optional[float] = None
+    #: Sampled points of this stratum that failed permanently (they are
+    #: excluded from ``trials`` and every rate).
+    quarantined: int = 0
 
     def rate(self, key: str) -> float:
         return self.counts.get(key, 0) / self.trials if self.trials else 0.0
@@ -168,10 +221,18 @@ class CampaignResult:
     store_hits: int = 0
     store_misses: int = 0
     simulated: int = 0
+    #: Points that failed every attempt, with their structured errors.
+    quarantined: List[QuarantinedPoint] = field(default_factory=list)
+    #: Harness-level health counters (retries, pool restarts, ...).
+    stats: SupervisorStats = field(default_factory=SupervisorStats)
 
     @property
     def points(self) -> int:
         return sum(stratum.trials for stratum in self.strata)
+
+    @property
+    def quarantined_points(self) -> int:
+        return len(self.quarantined)
 
     def stratum(
         self,
@@ -225,7 +286,8 @@ class CampaignResult:
 
         Sweep dimensions appear as columns only when the config actually
         sweeps them, so single-dimension campaigns keep their historical
-        byte-exact rendering.
+        byte-exact rendering.  Quarantined points append a report after
+        the table — a campaign with none renders exactly as before.
         """
         config = self.config
         show_target = config.targets != (DEFAULT_TARGET,)
@@ -295,7 +357,19 @@ class CampaignResult:
                 "\nScenario names set the interference the faulty run executes\n"
                 "under (isolation = single core; others load the shared bus)."
             )
-        return table.render(float_format="{:.1f}") + "\n" + note
+        text = table.render(float_format="{:.1f}") + "\n" + note
+        if self.quarantined:
+            lines = [
+                "",
+                f"Quarantined: {len(self.quarantined)} point(s) failed every "
+                "attempt and are excluded",
+                "from the table above (a --resume after repair re-simulates "
+                "them):",
+            ]
+            for point in sorted(self.quarantined, key=lambda p: p.index):
+                lines.append(f"  - {point.describe()}")
+            text += "\n".join(lines)
+        return text
 
 
 def _simulate_point(spec: SimulationSpec) -> Dict[str, object]:
@@ -305,6 +379,292 @@ def _simulate_point(spec: SimulationSpec) -> Dict[str, object]:
     golden program/trace come from the worker's kernel-trace cache.
     """
     return run_injection(spec).payload()
+
+
+def _simulate_point_supervised(
+    spec: SimulationSpec, directive=None, hang_seconds: float = 0.0
+) -> Dict[str, object]:
+    """One supervised injection, with an optional chaos directive.
+
+    The directive travels pickled with the job (no shared state in the
+    pool workers); it runs *before* the real replay, so a chaos-killed
+    worker dies exactly where a segfault would.
+    """
+    if directive is not None:
+        from repro.campaign.chaos import apply_worker_directive
+
+        apply_worker_directive(directive, hang_seconds)
+    return run_injection(spec).payload()
+
+
+class _SignalGuard:
+    """Graceful SIGINT/SIGTERM: note the signal, let the batch finish.
+
+    The engine checks :attr:`triggered` after every batch flush and
+    raises :class:`CampaignInterrupted` — so the store is checkpointed
+    at a batch boundary and resume is byte-exact.  The previous handlers
+    are restored on the *first* signal, so a second Ctrl-C behaves
+    normally (kills the process).  Outside the main thread this is a
+    no-op (signal handlers can only be installed there).
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self) -> None:
+        self.triggered: Optional[str] = None
+        self._previous: Dict[int, object] = {}
+
+    def __enter__(self) -> "_SignalGuard":
+        if threading.current_thread() is threading.main_thread():
+            for signum in self.SIGNALS:
+                self._previous[signum] = signal.signal(signum, self._handle)
+        return self
+
+    def _handle(self, signum, _frame) -> None:
+        self.triggered = signal.Signals(signum).name
+        self._restore()
+
+    def _restore(self) -> None:
+        for signum, handler in self._previous.items():
+            signal.signal(signum, handler)
+        self._previous = {}
+
+    def __exit__(self, *_exc) -> None:
+        self._restore()
+
+    def check(self, result: "CampaignResult") -> None:
+        if self.triggered is None:
+            return
+        processed = result.simulated + result.store_hits
+        raise CampaignInterrupted(
+            f"campaign interrupted by {self.triggered}; "
+            f"{processed} point(s) checkpointed",
+            signal=self.triggered,
+            points_completed=processed,
+            simulated=result.simulated,
+        )
+
+
+class _PointSupervisor:
+    """Runs batches of points, surviving harness faults.
+
+    One supervisor per campaign.  It owns the (optional) process pool,
+    assigns every sampled point its campaign-global index (the chaos
+    schedule's clock), enforces the per-point watchdog, respawns the
+    pool after worker death, retries failed points with exponential
+    backoff and quarantines the ones that fail every attempt.
+
+    Fault attribution: when the pool breaks, every pending future fails
+    at once and only the point whose wait raised is charged an attempt —
+    then the supervisor switches to **isolation mode** (one in-flight
+    point at a time) until a clean round, so a genuine poison point is
+    charged precisely on every retry while innocent shard-mates are
+    rescheduled uncharged.
+    """
+
+    def __init__(self, config: CampaignConfig, chaos, stats: SupervisorStats) -> None:
+        self.config = config
+        self.chaos = chaos
+        self.stats = stats
+        workers = config.workers
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        # A watchdog needs a process boundary to interrupt a hung
+        # replay, so a serial campaign with a timeout runs pooled.
+        if (workers is None or workers < 2) and config.point_timeout is not None:
+            workers = max(workers or 1, 1)
+            self._pooled = True
+        else:
+            self._pooled = workers is not None and workers > 1
+        self._width = workers if self._pooled else None
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._isolating = False
+        self.next_index = 0
+
+    # -- pool lifecycle ------------------------------------------------- #
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self._width)
+        return self._executor
+
+    def _kill_pool(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        self.stats.worker_restarts += 1
+        # Hung or dead workers never drain their queue: cancel what we
+        # can, then terminate the worker processes outright (the private
+        # map is the only handle ProcessPoolExecutor exposes).
+        processes = list(getattr(executor, "_processes", {}).values())
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    # -- batch execution ------------------------------------------------ #
+    def assign_indices(self, count: int) -> range:
+        """Consume ``count`` campaign-global point indices (every sampled
+        point gets one — store hits included — so the chaos schedule is
+        stable whether or not a run resumes)."""
+        indices = range(self.next_index, self.next_index + count)
+        self.next_index += count
+        return indices
+
+    def run_batch(
+        self, jobs: Sequence[Tuple[int, SimulationSpec]]
+    ) -> Tuple[Dict[int, Dict[str, object]], Dict[int, Tuple[CampaignError, int]]]:
+        """Run ``(global_index, spec)`` jobs to completion or quarantine.
+
+        Returns ``(payloads, quarantined)`` keyed by global index;
+        ``quarantined`` values are ``(final_error, attempts)``.  With
+        ``config.quarantine=False`` the final error is raised instead.
+        """
+        payloads: Dict[int, Dict[str, object]] = {}
+        quarantined: Dict[int, Tuple[CampaignError, int]] = {}
+        attempts: Dict[int, int] = {}
+        pending = sorted(jobs)
+        while pending:
+            failed: List[Tuple[int, SimulationSpec, CampaignError]] = []
+            if self._pooled:
+                survivors = self._run_pooled(pending, payloads, failed)
+            else:
+                survivors = self._run_serial(pending, payloads, failed)
+            if self._pooled and not failed:
+                self._isolating = False
+            retry: List[Tuple[int, SimulationSpec]] = list(survivors)
+            for index, spec, error in failed:
+                attempts[index] = attempts.get(index, 0) + 1
+                self.stats.record(error)
+                error.details.setdefault("point_index", index)
+                error.details["attempts"] = attempts[index]
+                if attempts[index] > self.config.max_retries:
+                    if not self.config.quarantine:
+                        raise error
+                    self.stats.quarantined += 1
+                    quarantined[index] = (error, attempts[index])
+                else:
+                    self.stats.retries += 1
+                    if self.config.retry_backoff > 0:
+                        time.sleep(
+                            self.config.retry_backoff
+                            * (2 ** (attempts[index] - 1))
+                        )
+                    retry.append((index, spec))
+            pending = sorted(retry)
+        return payloads, quarantined
+
+    def _chaos_worker_directive(self, index: int, *, inline: bool):
+        if self.chaos is None:
+            return None
+        directive = self.chaos.directive_for(index, worker=True)
+        if directive is not None and inline and directive.kind != "fail":
+            # No worker boundary to kill or hang in inline execution.
+            return None
+        return directive
+
+    def _chaos_supervisor_step(self, index: int) -> None:
+        if self.chaos is None:
+            return
+        from repro.campaign.chaos import apply_supervisor_directive
+
+        apply_supervisor_directive(self.chaos.directive_for(index, worker=False))
+
+    def _run_serial(self, pending, payloads, failed):
+        for index, spec in pending:
+            self._chaos_supervisor_step(index)
+            directive = self._chaos_worker_directive(index, inline=True)
+            try:
+                payloads[index] = _simulate_point_supervised(spec, directive)
+            except Exception as error:  # noqa: BLE001 - taxonomy boundary
+                failed.append((index, spec, wrap_point_error(error, point_index=index)))
+        return []
+
+    def _run_pooled(self, pending, payloads, failed):
+        if self._isolating:
+            waves = [[job] for job in pending]
+        else:
+            waves = [list(pending)]
+        survivors: List[Tuple[int, SimulationSpec]] = []
+        for wave in waves:
+            survivors.extend(self._run_wave(wave, payloads, failed))
+        return survivors
+
+    def _run_wave(self, wave, payloads, failed):
+        hang = self.chaos.hang_seconds if self.chaos is not None else 0.0
+        futures = []
+        for index, spec in wave:
+            self._chaos_supervisor_step(index)
+            directive = self._chaos_worker_directive(index, inline=False)
+            try:
+                future = self._pool().submit(
+                    _simulate_point_supervised, spec, directive, hang
+                )
+            except BrokenProcessPool:
+                self._kill_pool()
+                self._isolating = True
+                futures.append((index, spec, None))
+                continue
+            futures.append((index, spec, future))
+        survivors: List[Tuple[int, SimulationSpec]] = []
+        broken = False
+        for index, spec, future in futures:
+            if future is None or broken:
+                # The pool died under this future: collect it if it
+                # finished in time, otherwise reschedule it uncharged
+                # (the point whose wait raised took the blame).
+                if (
+                    future is not None
+                    and future.done()
+                    and not future.cancelled()
+                    and future.exception() is None
+                ):
+                    payloads[index] = future.result()
+                else:
+                    survivors.append((index, spec))
+                continue
+            try:
+                payloads[index] = future.result(timeout=self.config.point_timeout)
+            except FuturesTimeoutError:
+                failed.append(
+                    (
+                        index,
+                        spec,
+                        PointTimeout(
+                            f"point exceeded the {self.config.point_timeout:g}s "
+                            "watchdog",
+                            timeout_seconds=self.config.point_timeout,
+                        ),
+                    )
+                )
+                self._kill_pool()
+                self._isolating = True
+                broken = True
+            except BrokenProcessPool:
+                failed.append(
+                    (
+                        index,
+                        spec,
+                        WorkerCrash("a pool worker died while running the shard"),
+                    )
+                )
+                self._kill_pool()
+                self._isolating = True
+                broken = True
+            except Exception as error:  # noqa: BLE001 - taxonomy boundary
+                failed.append(
+                    (index, spec, wrap_point_error(error, point_index=index))
+                )
+        return survivors
 
 
 def _dl1_code_instance(policy_value: str) -> EccCode:
@@ -353,6 +713,7 @@ def run_campaign(
     *,
     store=None,
     resume: bool = False,
+    chaos=None,
 ) -> CampaignResult:
     """Run (or resume) one stratified architectural campaign.
 
@@ -361,34 +722,31 @@ def run_campaign(
     ``resume=True`` points whose spec hash is already stored are *not*
     re-simulated — their stored outcome is reused — which is what turns
     a half-finished campaign into an incremental one.
+
+    ``chaos`` is an optional :class:`~repro.campaign.chaos.ChaosPlan`
+    injecting deterministic harness faults (tests / CI only).
     """
-    workers = config.workers
-    if workers == 0:
-        workers = os.cpu_count() or 1
     result = CampaignResult(config=config)
-    executor = (
-        ProcessPoolExecutor(max_workers=workers)
-        if workers is not None and workers > 1
-        else None
-    )
+    supervisor = _PointSupervisor(config, chaos, result.stats)
     try:
-        for kernel, policy_value, target, scenario, scale in config.strata():
-            stratum = _run_stratum(
-                config,
-                kernel,
-                policy_value,
-                target=target,
-                scenario=scenario,
-                scale=scale,
-                store=store,
-                resume=resume,
-                executor=executor,
-                result=result,
-            )
-            result.strata.append(stratum)
+        with _SignalGuard() as guard:
+            for kernel, policy_value, target, scenario, scale in config.strata():
+                stratum = _run_stratum(
+                    config,
+                    kernel,
+                    policy_value,
+                    target=target,
+                    scenario=scenario,
+                    scale=scale,
+                    store=store,
+                    resume=resume,
+                    supervisor=supervisor,
+                    guard=guard,
+                    result=result,
+                )
+                result.strata.append(stratum)
     finally:
-        if executor is not None:
-            executor.shutdown()
+        supervisor.close()
     return result
 
 
@@ -402,7 +760,8 @@ def _run_stratum(
     scale: float,
     store,
     resume: bool,
-    executor,
+    supervisor: _PointSupervisor,
+    guard: _SignalGuard,
     result: CampaignResult,
 ) -> StratumSummary:
     from repro.store import canonical_json, spec_hash
@@ -410,6 +769,7 @@ def _run_stratum(
     interference = config.scenario_interference(scenario)
     counts: Dict[str, int] = {key: 0 for key in OUTCOME_KEYS}
     done = 0
+    stratum_quarantined = 0
     early = False
     while done < config.trials and not early:
         batch_size = min(config.batch, config.trials - done)
@@ -436,51 +796,80 @@ def _run_stratum(
             for fault in faults
         ]
         keys = [spec_hash(spec) for spec in specs]
+        indices = supervisor.assign_indices(len(specs))
         payloads: List[Optional[Dict[str, object]]] = [None] * len(specs)
         to_run: List[int] = []
         lookup = store is not None and resume
-        for index, key in enumerate(keys):
+        for slot, key in enumerate(keys):
             stored = store.get(key) if lookup else None
             if stored is not None:
-                payloads[index] = stored
+                payloads[slot] = stored
                 result.store_hits += 1
             else:
                 if lookup:
                     result.store_misses += 1
-                to_run.append(index)
+                to_run.append(slot)
+        quarantined_slots: List[int] = []
+        rows: List[Tuple[str, Dict[str, object], str]] = []
         if to_run:
-            pending = [specs[index] for index in to_run]
-            if executor is not None:
-                computed = list(executor.map(_simulate_point, pending))
-            else:
-                computed = [_simulate_point(spec) for spec in pending]
-            rows = []
-            for index, payload in zip(to_run, computed):
-                payloads[index] = payload
-                result.simulated += 1
-                if store is not None:
-                    rows.append(
-                        (keys[index], payload, canonical_json(specs[index]))
+            jobs = [(indices[slot], specs[slot]) for slot in to_run]
+            computed, poisoned = supervisor.run_batch(jobs)
+            for slot in to_run:
+                index = indices[slot]
+                if index in computed:
+                    payloads[slot] = computed[index]
+                    result.simulated += 1
+                    if store is not None:
+                        rows.append(
+                            (keys[slot], computed[index], canonical_json(specs[slot]))
+                        )
+                else:
+                    error, tries = poisoned[index]
+                    quarantined_slots.append(slot)
+                    point = QuarantinedPoint(
+                        index=index,
+                        kernel=kernel,
+                        policy=policy_value,
+                        target=target,
+                        scenario=scenario,
+                        scale=scale,
+                        attempts=tries,
+                        error=error.payload(),
+                        key=keys[slot],
+                        spec_json=canonical_json(specs[slot]),
                     )
-            if rows:
-                store.put_many(rows, kind="injection")
-        for payload in payloads:
-            counts[str(payload["outcome"])] += 1
+                    result.quarantined.append(point)
+                    if store is not None:
+                        store.quarantine_put(
+                            point.key, point.error, spec_json=point.spec_json
+                        )
+        for slot, payload in enumerate(payloads):
+            if payload is not None:
+                counts[str(payload["outcome"])] += 1
+        stratum_quarantined += len(quarantined_slots)
         done += len(faults)
-        if config.ci_target is not None and done >= config.batch:
-            half_sdc = wilson_half_width(counts["sdc"], done, z=config.ci_z)
+        if rows:
+            store.put_many(rows, kind="injection")
+        # The batch is flushed: this is the checkpoint boundary where a
+        # graceful interrupt may stop the campaign (resume is byte-exact
+        # from here).
+        guard.check(result)
+        completed = done - stratum_quarantined
+        if config.ci_target is not None and done >= config.batch and completed:
+            half_sdc = wilson_half_width(counts["sdc"], completed, z=config.ci_z)
             half_corrected = wilson_half_width(
-                counts["corrected"], done, z=config.ci_z
+                counts["corrected"], completed, z=config.ci_z
             )
             if max(half_sdc, half_corrected) <= config.ci_target:
                 early = True
     return StratumSummary(
         kernel=kernel,
         policy=policy_value,
-        trials=done,
+        trials=done - stratum_quarantined,
         counts=counts,
         early_stopped=early,
         target=target,
         scenario=scenario,
         scale=scale,
+        quarantined=stratum_quarantined,
     )

@@ -21,7 +21,13 @@ from repro.store.canonical import (
     spec_from_canonical,
     spec_hash,
 )
-from repro.store.result_store import ResultStore
+from repro.store.result_store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    StoreHealthReport,
+    payload_checksum,
+    with_lock_retry,
+)
 from repro.store.serialize import (
     cacheable,
     payload_from_result,
@@ -31,8 +37,12 @@ from repro.store.serialize import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "STORE_SCHEMA_VERSION",
     "ResultStore",
+    "StoreHealthReport",
     "cacheable",
+    "payload_checksum",
+    "with_lock_retry",
     "canonical_dict",
     "canonical_json",
     "canonical_policy_value",

@@ -1,4 +1,4 @@
-"""Persistent, content-addressed result store.
+"""Persistent, content-addressed, self-verifying result store.
 
 One SQLite file holds one table of JSON payloads keyed by the canonical
 spec hash (:func:`repro.store.canonical.spec_hash`).  The store is the
@@ -14,24 +14,129 @@ substrate for two features:
 
 SQLite keeps the implementation dependency-free, transactional and safe
 for one writer + many readers; each process opens its own connection.
+
+Because a poisoned store silently poisons every future ``--resume``,
+the store defends itself:
+
+* every row carries a **payload checksum** (truncated SHA-256) written
+  with the payload and checked on every read — a torn or bit-corrupted
+  row is *dropped on read* (counted in :attr:`corrupt_dropped`) and
+  reported as a miss, so the resume path transparently re-simulates it;
+* :meth:`verify` scans the whole file without modifying it and
+  :meth:`repair` drops corrupt rows / backfills legacy checksums;
+* writes retry with exponential backoff when ``database is locked``
+  outlives ``busy_timeout`` (competing writers on network filesystems);
+* the file is stamped with a **store schema version**; opening a file
+  written by a *newer* layout raises
+  :class:`~repro.campaign.errors.StoreCorruption` instead of guessing;
+  older (v1) files are migrated in place, their rows kept as
+  legacy-unchecksummed until :meth:`repair` backfills them;
+* a **quarantine table** records points the campaign supervisor gave up
+  on, with their structured error payloads;
+* :meth:`close` is idempotent and exception-safe, so no teardown path
+  leaks a WAL handle.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 import sqlite3
-from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+#: Version of the *file layout* (tables/columns), independent of the
+#: canonical spec-encoding version (``repro.store.canonical``).  v1 had
+#: no checksum column, meta table or quarantine table.
+STORE_SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
-    key     TEXT PRIMARY KEY,
-    kind    TEXT NOT NULL DEFAULT '',
-    spec    TEXT NOT NULL DEFAULT '',
-    payload TEXT NOT NULL
+    key      TEXT PRIMARY KEY,
+    kind     TEXT NOT NULL DEFAULT '',
+    spec     TEXT NOT NULL DEFAULT '',
+    payload  TEXT NOT NULL,
+    checksum TEXT NOT NULL DEFAULT ''
 );
 CREATE INDEX IF NOT EXISTS results_kind ON results (kind);
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS quarantine (
+    key   TEXT PRIMARY KEY,
+    spec  TEXT NOT NULL DEFAULT '',
+    error TEXT NOT NULL
+);
 """
+
+#: ``database is locked`` retry schedule (seconds) used once SQLite's
+#: own ``busy_timeout`` has been exhausted.
+_LOCK_RETRIES = 5
+_LOCK_BASE_DELAY = 0.05
+
+
+def payload_checksum(payload_text: str) -> str:
+    """Truncated SHA-256 of the stored payload text (16 hex chars)."""
+    return hashlib.sha256(payload_text.encode("utf-8")).hexdigest()[:16]
+
+
+def _is_locked_error(error: BaseException) -> bool:
+    return isinstance(error, sqlite3.OperationalError) and "locked" in str(error)
+
+
+def with_lock_retry(
+    operation: Callable[[], object],
+    *,
+    retries: int = _LOCK_RETRIES,
+    base_delay: float = _LOCK_BASE_DELAY,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Run ``operation``, retrying with exponential backoff while SQLite
+    reports ``database is locked`` (beyond the connection's own
+    ``busy_timeout``).  Any other error propagates immediately."""
+    attempt = 0
+    while True:
+        try:
+            return operation()
+        except sqlite3.OperationalError as error:
+            if not _is_locked_error(error) or attempt >= retries:
+                raise
+            sleep(base_delay * (2 ** attempt))
+            attempt += 1
+
+
+@dataclass
+class StoreHealthReport:
+    """The outcome of one :meth:`ResultStore.verify`/``repair`` scan."""
+
+    total: int = 0
+    intact: int = 0
+    #: Keys whose checksum (or JSON) no longer matches their payload.
+    corrupt: List[str] = field(default_factory=list)
+    #: Keys written by a pre-checksum (v1) store, not yet backfilled.
+    legacy: List[str] = field(default_factory=list)
+    #: Keys dropped / backfilled by ``repair`` (empty after ``verify``).
+    dropped: List[str] = field(default_factory=list)
+    backfilled: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt
+
+    def describe(self) -> str:
+        text = (
+            f"{self.total} rows: {self.intact} intact, "
+            f"{len(self.corrupt)} corrupt, {len(self.legacy)} legacy"
+        )
+        if self.dropped or self.backfilled:
+            text += (
+                f"; repaired ({len(self.dropped)} dropped, "
+                f"{len(self.backfilled)} checksums backfilled)"
+            )
+        return text
 
 
 class ResultStore:
@@ -39,40 +144,123 @@ class ResultStore:
 
     ``path`` may be a filesystem path or ``":memory:"`` for an ephemeral
     store (useful in tests).  The store counts its ``hits`` and
-    ``misses`` (lookups that found / did not find a payload) so callers
-    can assert resume behaviour.
+    ``misses`` (lookups that found / did not find a payload) plus
+    ``corrupt_dropped`` (rows a read rejected and deleted because their
+    checksum lied) so callers can assert resume behaviour.
     """
 
     def __init__(self, path: Union[str, pathlib.Path]) -> None:
         self.path = str(path)
+        self._closed = True  # true until the connection is live
         if self.path != ":memory:":
             parent = pathlib.Path(self.path).resolve().parent
             parent.mkdir(parents=True, exist_ok=True)
         self._connection = sqlite3.connect(self.path)
-        # Concurrent campaigns sharing one store file: WAL lets readers
-        # proceed during a write, and the busy timeout makes competing
-        # writers queue instead of raising "database is locked".
-        # (":memory:" silently ignores the WAL request.)
-        self._connection.execute("PRAGMA journal_mode=WAL")
-        self._connection.execute("PRAGMA busy_timeout=30000")
-        self._connection.executescript(_SCHEMA)
-        self._connection.commit()
+        self._closed = False
+        try:
+            # Concurrent campaigns sharing one store file: WAL lets
+            # readers proceed during a write, and the busy timeout makes
+            # competing writers queue instead of raising "database is
+            # locked".  (":memory:" silently ignores the WAL request.)
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute("PRAGMA busy_timeout=30000")
+            self._migrate()
+        except BaseException:
+            # Never leak a half-opened WAL handle from a failed open.
+            self.close()
+            raise
         self.hits = 0
         self.misses = 0
+        self.corrupt_dropped = 0
+
+    def _migrate(self) -> None:
+        """Create or upgrade the file layout in place (v1 -> v2)."""
+        from repro.campaign.errors import StoreCorruption
+
+        has_results = self._connection.execute(
+            "SELECT 1 FROM sqlite_master WHERE type='table' AND name='results'"
+        ).fetchone()
+        if has_results:
+            columns = {
+                row[1]
+                for row in self._connection.execute("PRAGMA table_info(results)")
+            }
+            if "checksum" not in columns:
+                # A v1 file: add the checksum column; existing rows stay
+                # legacy (empty checksum) until repair() backfills them.
+                self._connection.execute(
+                    "ALTER TABLE results ADD COLUMN checksum TEXT NOT NULL DEFAULT ''"
+                )
+        self._connection.executescript(_SCHEMA)
+        row = self._connection.execute(
+            "SELECT value FROM store_meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is not None and int(row[0]) > STORE_SCHEMA_VERSION:
+            version = int(row[0])
+            self._connection.commit()
+            raise StoreCorruption(
+                f"store {self.path!r} uses schema v{version}, newer than "
+                f"this build's v{STORE_SCHEMA_VERSION}",
+                path=self.path,
+                found_version=version,
+                supported_version=STORE_SCHEMA_VERSION,
+            )
+        self._connection.execute(
+            "INSERT OR REPLACE INTO store_meta (key, value) VALUES "
+            "('schema_version', ?)",
+            (str(STORE_SCHEMA_VERSION),),
+        )
+        self._connection.commit()
+
+    @property
+    def schema_version(self) -> int:
+        row = self._connection.execute(
+            "SELECT value FROM store_meta WHERE key = 'schema_version'"
+        ).fetchone()
+        return int(row[0]) if row is not None else 1
 
     # ------------------------------------------------------------------ #
     # core mapping interface                                             #
     # ------------------------------------------------------------------ #
     def get(self, key: str) -> Optional[Dict[str, object]]:
-        """The stored payload for ``key``, or None (counted as hit/miss)."""
+        """The stored payload for ``key``, or None (counted as hit/miss).
+
+        A row whose checksum or JSON no longer matches its payload is a
+        lie, not a result: the row is deleted (``corrupt_dropped``) and
+        the lookup reported as a miss, so resume re-simulates the point
+        instead of trusting torn data.  Legacy (pre-checksum) rows are
+        still JSON-validated.
+        """
         row = self._connection.execute(
-            "SELECT payload FROM results WHERE key = ?", (key,)
+            "SELECT payload, checksum FROM results WHERE key = ?", (key,)
         ).fetchone()
         if row is None:
             self.misses += 1
             return None
+        payload_text, checksum = row
+        if checksum and payload_checksum(payload_text) != checksum:
+            self._drop_corrupt(key)
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(payload_text)
+        except ValueError:
+            self._drop_corrupt(key)
+            self.misses += 1
+            return None
         self.hits += 1
-        return json.loads(row[0])
+        return payload
+
+    def _drop_corrupt(self, key: str) -> None:
+        with_lock_retry(
+            lambda: (
+                self._connection.execute(
+                    "DELETE FROM results WHERE key = ?", (key,)
+                ),
+                self._connection.commit(),
+            )
+        )
+        self.corrupt_dropped += 1
 
     def put(
         self,
@@ -83,12 +271,17 @@ class ResultStore:
         kind: str = "",
     ) -> None:
         """Insert or overwrite the payload stored under ``key``."""
-        self._connection.execute(
-            "INSERT OR REPLACE INTO results (key, kind, spec, payload) "
-            "VALUES (?, ?, ?, ?)",
-            (key, kind, spec_json, json.dumps(payload, sort_keys=True)),
-        )
-        self._connection.commit()
+        payload_text = json.dumps(payload, sort_keys=True)
+
+        def write():
+            self._connection.execute(
+                "INSERT OR REPLACE INTO results "
+                "(key, kind, spec, payload, checksum) VALUES (?, ?, ?, ?, ?)",
+                (key, kind, spec_json, payload_text, payload_checksum(payload_text)),
+            )
+            self._connection.commit()
+
+        with_lock_retry(write)
 
     def put_many(
         self,
@@ -103,18 +296,24 @@ class ResultStore:
         injection points at a time — pay one fsync per batch instead of
         one per point.  Equivalent to calling :meth:`put` per row.
         """
-        prepared = [
-            (key, kind, spec_json, json.dumps(payload, sort_keys=True))
-            for key, payload, spec_json in rows
-        ]
+        prepared = []
+        for key, payload, spec_json in rows:
+            payload_text = json.dumps(payload, sort_keys=True)
+            prepared.append(
+                (key, kind, spec_json, payload_text, payload_checksum(payload_text))
+            )
         if not prepared:
             return
-        self._connection.executemany(
-            "INSERT OR REPLACE INTO results (key, kind, spec, payload) "
-            "VALUES (?, ?, ?, ?)",
-            prepared,
-        )
-        self._connection.commit()
+
+        def write():
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO results "
+                "(key, kind, spec, payload, checksum) VALUES (?, ?, ?, ?, ?)",
+                prepared,
+            )
+            self._connection.commit()
+
+        with_lock_retry(write)
 
     def spec_json(self, key: str) -> Optional[str]:
         """The canonical spec recorded with ``key`` (provenance)."""
@@ -147,14 +346,139 @@ class ResultStore:
         ):
             yield key
 
+    def iter_rows(self) -> Iterator[Tuple[str, Dict[str, object], str]]:
+        """All ``(key, payload, kind)`` rows in key order.
+
+        Payloads are decoded but *not* checksum-verified — use
+        :meth:`verify` / :meth:`repair` for integrity scans.
+        """
+        for key, payload_text, kind in self._connection.execute(
+            "SELECT key, payload, kind FROM results ORDER BY key"
+        ):
+            yield key, json.loads(payload_text), kind
+
+    # ------------------------------------------------------------------ #
+    # integrity: verify / repair                                         #
+    # ------------------------------------------------------------------ #
+    def _scan(self) -> StoreHealthReport:
+        report = StoreHealthReport()
+        for key, payload_text, checksum in self._connection.execute(
+            "SELECT key, payload, checksum FROM results ORDER BY key"
+        ):
+            report.total += 1
+            parses = True
+            try:
+                json.loads(payload_text)
+            except ValueError:
+                parses = False
+            if not parses:
+                report.corrupt.append(key)
+            elif not checksum:
+                report.legacy.append(key)
+            elif payload_checksum(payload_text) != checksum:
+                report.corrupt.append(key)
+            else:
+                report.intact += 1
+        return report
+
+    def verify(self) -> StoreHealthReport:
+        """Scan every row's checksum/JSON without modifying the file."""
+        return self._scan()
+
+    def repair(self) -> StoreHealthReport:
+        """Heal the store: drop corrupt rows, backfill legacy checksums.
+
+        Dropped rows are simply missing afterwards — the resume path
+        re-simulates them from their (re-derivable) specs, which is the
+        re-simulation fallback the checksum design counts on.
+        """
+        report = self._scan()
+
+        def heal():
+            for key in report.corrupt:
+                self._connection.execute(
+                    "DELETE FROM results WHERE key = ?", (key,)
+                )
+            for key in report.legacy:
+                (payload_text,) = self._connection.execute(
+                    "SELECT payload FROM results WHERE key = ?", (key,)
+                ).fetchone()
+                self._connection.execute(
+                    "UPDATE results SET checksum = ? WHERE key = ?",
+                    (payload_checksum(payload_text), key),
+                )
+            self._connection.commit()
+
+        with_lock_retry(heal)
+        self.corrupt_dropped += len(report.corrupt)
+        report.dropped = list(report.corrupt)
+        report.backfilled = list(report.legacy)
+        report.intact += len(report.legacy)
+        report.legacy = []
+        return report
+
+    # ------------------------------------------------------------------ #
+    # quarantine                                                         #
+    # ------------------------------------------------------------------ #
+    def quarantine_put(
+        self, key: str, error: Dict[str, object], *, spec_json: str = ""
+    ) -> None:
+        """Record a poison point the campaign supervisor gave up on."""
+
+        def write():
+            self._connection.execute(
+                "INSERT OR REPLACE INTO quarantine (key, spec, error) "
+                "VALUES (?, ?, ?)",
+                (key, spec_json, json.dumps(error, sort_keys=True)),
+            )
+            self._connection.commit()
+
+        with_lock_retry(write)
+
+    def quarantine_get(self, key: str) -> Optional[Dict[str, object]]:
+        row = self._connection.execute(
+            "SELECT error FROM quarantine WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def quarantine_count(self) -> int:
+        (count,) = self._connection.execute(
+            "SELECT COUNT(*) FROM quarantine"
+        ).fetchone()
+        return int(count)
+
+    def quarantine_clear(self, key: Optional[str] = None) -> None:
+        """Forget quarantined keys (all, or just one) — e.g. after a
+        resume successfully re-simulated them."""
+
+        def clear():
+            if key is None:
+                self._connection.execute("DELETE FROM quarantine")
+            else:
+                self._connection.execute(
+                    "DELETE FROM quarantine WHERE key = ?", (key,)
+                )
+            self._connection.commit()
+
+        with_lock_retry(clear)
+
     # ------------------------------------------------------------------ #
     # lifecycle                                                          #
     # ------------------------------------------------------------------ #
     def reset_counters(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.corrupt_dropped = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def close(self) -> None:
+        """Close the connection (idempotent — safe on every teardown path)."""
+        if self._closed:
+            return
+        self._closed = True
         self._connection.close()
 
     def __enter__(self) -> "ResultStore":
@@ -163,5 +487,12 @@ class ResultStore:
     def __exit__(self, *_exc) -> None:
         self.close()
 
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ResultStore({self.path!r}, entries={len(self)})"
+        state = "closed" if self._closed else f"entries={len(self)}"
+        return f"ResultStore({self.path!r}, {state})"
