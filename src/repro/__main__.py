@@ -277,6 +277,17 @@ def _build_campaign_parser() -> argparse.ArgumentParser:
         help="base of the exponential retry backoff (default: 0.1)",
     )
     parser.add_argument(
+        "--replay-mode",
+        choices=("batched", "point"),
+        default="batched",
+        help=(
+            "batched (default): derive golden state once per batch, "
+            "triage dead-on-arrival/code-healed flips analytically and "
+            "suffix-resume the rest; point: legacy per-point replay. "
+            "Outcomes and summaries are byte-identical either way"
+        ),
+    )
+    parser.add_argument(
         "--no-quarantine",
         action="store_true",
         help=(
@@ -364,6 +375,7 @@ def _run_campaign_command(argv: List[str]) -> int:
             max_retries=args.max_retries,
             retry_backoff=args.retry_backoff,
             quarantine=not args.no_quarantine,
+            replay_mode=args.replay_mode,
         )
         chaos = (
             parse_chaos(args.chaos, hang_seconds=args.chaos_hang)
@@ -410,6 +422,10 @@ def _run_campaign_command(argv: List[str]) -> int:
         f"[campaign] strata={len(result.strata)} points={result.points} "
         f"simulated={result.simulated} store-hits={result.store_hits} "
         f"store-misses={result.store_misses} "
+        f"analytical={result.stats.analytical} "
+        f"streamed={result.stats.streamed} "
+        f"full={result.stats.full} "
+        f"store_hits={result.stats.store_hits} "
         f"quarantined={result.quarantined_points} "
         f"retries={result.stats.retries} "
         f"pool-restarts={result.stats.worker_restarts} in {elapsed:.1f}s "

@@ -71,7 +71,9 @@ from repro.campaign.replay import (
     dl1_code_for_policy,
     l2_code_for_policy,
     run_injection,
+    run_injection_batch,
     simulate_faulty_spec,
+    warm_lean_golden,
 )
 from repro.campaign.sampling import (
     DEFAULT_TARGET,
@@ -80,7 +82,9 @@ from repro.campaign.sampling import (
     clear_sample_cursors,
     kernel_fault_space,
     point_draw_count,
+    replay_group_key,
     reset_draw_count,
+    sample_fault_groups,
     sample_faults,
     stratum_identity,
     target_codeword_bits,
@@ -121,10 +125,14 @@ __all__ = [
     "reset_draw_count",
     "run_campaign",
     "run_injection",
+    "run_injection_batch",
+    "replay_group_key",
+    "sample_fault_groups",
     "sample_faults",
     "stratum_identity",
     "target_codeword_bits",
     "simulate_faulty_spec",
+    "warm_lean_golden",
     "wilson_half_width",
     "wilson_interval",
 ]

@@ -99,6 +99,21 @@ class ChaosPlan:
                 return directive
         return None
 
+    def has_directive(self, index: int) -> bool:
+        """Non-consuming peek: does ``index`` still have a pending directive?
+
+        The batched scheduler routes chaos-targeted points through the
+        per-point path (where kill/hang/fail semantics are exact); this
+        peek must not consume a one-shot directive, or the directive
+        would silently never fire.
+        """
+        for directive in self.directives:
+            if directive.index != index:
+                continue
+            if directive.always or not self._fired.get((directive.kind, index), 0):
+                return True
+        return False
+
     def spec(self) -> str:
         return ",".join(directive.spec() for directive in self.directives)
 

@@ -121,6 +121,14 @@ class CampaignConfig:
     retry_backoff: float = 0.1
     #: Quarantine poison points (True) or fail fast (False).
     quarantine: bool = True
+    #: How sampled points are replayed: ``"batched"`` (default) hands
+    #: each stratum batch to :func:`repro.campaign.replay.run_injection_batch`
+    #: — golden trace, final memory and per-word timelines derived once
+    #: per (kernel, scale) group, analytical triage for dead-on-arrival
+    #: and code-healed flips, snapshot suffix-resume for the residue —
+    #: while ``"point"`` keeps the legacy one-process-job-per-point
+    #: path.  Outcomes and summaries are byte-identical either way.
+    replay_mode: str = "batched"
 
     def __post_init__(self) -> None:
         if not self.kernels:
@@ -153,6 +161,11 @@ class CampaignConfig:
             raise ValueError("max_retries must be >= 0")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be >= 0")
+        if self.replay_mode not in ("batched", "point"):
+            raise ValueError(
+                f"unknown replay_mode {self.replay_mode!r}; "
+                "expected 'batched' or 'point'"
+            )
 
     # -- the sweep grid -------------------------------------------------- #
     @property
@@ -397,6 +410,22 @@ def _simulate_point_supervised(
     return run_injection(spec).payload()
 
 
+def _simulate_batch(
+    specs: Sequence[SimulationSpec],
+) -> List[Tuple[Dict[str, object], str]]:
+    """Worker-side job: one whole batch through the shared-golden path.
+
+    Returns ``(payload, replay_mode)`` per spec, in input order; the
+    mode string feeds the ``analytical=/streamed=/full=`` counters.
+    """
+    from repro.campaign.replay import run_injection_batch
+
+    return [
+        (result.payload(), result.replay_mode)
+        for result in run_injection_batch(list(specs))
+    ]
+
+
 class _SignalGuard:
     """Graceful SIGINT/SIGTERM: note the signal, let the batch finish.
 
@@ -484,7 +513,20 @@ class _PointSupervisor:
     # -- pool lifecycle ------------------------------------------------- #
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self._width)
+            if self.config.replay_mode == "batched":
+                # Persistent warm workers: each worker preloads the
+                # sweep's golden artefacts once at spawn, so shards stop
+                # re-warming traces on every job (and a respawned pool
+                # re-warms exactly once, not per batch).
+                from repro.campaign.replay import warm_lean_golden
+
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self._width,
+                    initializer=warm_lean_golden,
+                    initargs=(self.config.kernels, self.config.sweep_scales),
+                )
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self._width)
         return self._executor
 
     def _kill_pool(self) -> None:
@@ -562,6 +604,85 @@ class _PointSupervisor:
                     retry.append((index, spec))
             pending = sorted(retry)
         return payloads, quarantined
+
+    def run_batch_grouped(
+        self, jobs: Sequence[Tuple[int, SimulationSpec]]
+    ) -> Tuple[
+        Dict[int, Dict[str, object]],
+        Dict[int, Tuple[CampaignError, int]],
+        Dict[int, str],
+    ]:
+        """Run one stratum batch through the batched replay backend.
+
+        Returns ``(payloads, quarantined, modes)``; ``modes`` maps each
+        completed global index to its replay mode (``analytical`` /
+        ``streamed`` / ``full``).
+
+        Semantics are preserved by routing, not by re-implementation:
+
+        * chaos-targeted points (a *non-consuming* peek at the plan, so
+          one-shot directives still fire exactly once) take the
+          per-point path, where kill/hang/fail directives land on a
+          process boundary exactly as in ``--replay-mode=point``;
+        * the rest run as **one** pool job against shared golden state,
+          under a watchdog scaled to the batch size;
+        * if that group job times out, crashes its worker or raises,
+          every point in it is retried through the per-point path —
+          which owns retry accounting, backoff, isolation mode and
+          quarantine — so a poison point is attributed and quarantined
+          precisely, and no batch failure is ever charged to innocents.
+        """
+        point_jobs: List[Tuple[int, SimulationSpec]] = []
+        group_jobs: List[Tuple[int, SimulationSpec]] = []
+        for index, spec in jobs:
+            if self.chaos is not None and self.chaos.has_directive(index):
+                point_jobs.append((index, spec))
+            else:
+                group_jobs.append((index, spec))
+        payloads: Dict[int, Dict[str, object]] = {}
+        modes: Dict[int, str] = {}
+        if group_jobs:
+            batch = self._run_group([spec for _index, spec in group_jobs])
+            if batch is None:
+                point_jobs = point_jobs + group_jobs
+            else:
+                for (index, _spec), (payload, mode) in zip(group_jobs, batch):
+                    payloads[index] = payload
+                    modes[index] = mode
+        quarantined: Dict[int, Tuple[CampaignError, int]] = {}
+        if point_jobs:
+            point_payloads, quarantined = self.run_batch(sorted(point_jobs))
+            for index, payload in point_payloads.items():
+                payloads[index] = payload
+                modes[index] = "full"
+        return payloads, quarantined, modes
+
+    def _run_group(self, specs: Sequence[SimulationSpec]):
+        """One batched replay of ``specs``; ``None`` = retry per-point."""
+        if not self._pooled:
+            try:
+                return _simulate_batch(specs)
+            except Exception:  # noqa: BLE001 - per-point path attributes it
+                return None
+        timeout = (
+            self.config.point_timeout * max(1, len(specs))
+            if self.config.point_timeout is not None
+            else None
+        )
+        try:
+            future = self._pool().submit(_simulate_batch, list(specs))
+        except BrokenProcessPool:
+            self._kill_pool()
+            self._isolating = True
+            return None
+        try:
+            return future.result(timeout=timeout)
+        except (FuturesTimeoutError, BrokenProcessPool):
+            self._kill_pool()
+            self._isolating = True
+            return None
+        except Exception:  # noqa: BLE001 - per-point path attributes it
+            return None
 
     def _chaos_worker_directive(self, index: int, *, inline: bool):
         if self.chaos is None:
@@ -800,11 +921,16 @@ def _run_stratum(
         payloads: List[Optional[Dict[str, object]]] = [None] * len(specs)
         to_run: List[int] = []
         lookup = store is not None and resume
+        # One SELECT resolves the whole batch's store hits up front —
+        # warm resumes never enter the supervisor loop per hit (the
+        # BENCH_6 warm-path regression was exactly that).
+        stored_payloads = store.get_many(keys) if lookup else {}
         for slot, key in enumerate(keys):
-            stored = store.get(key) if lookup else None
+            stored = stored_payloads.get(key)
             if stored is not None:
                 payloads[slot] = stored
                 result.store_hits += 1
+                result.stats.store_hits += 1
             else:
                 if lookup:
                     result.store_misses += 1
@@ -813,12 +939,17 @@ def _run_stratum(
         rows: List[Tuple[str, Dict[str, object], str]] = []
         if to_run:
             jobs = [(indices[slot], specs[slot]) for slot in to_run]
-            computed, poisoned = supervisor.run_batch(jobs)
+            if config.replay_mode == "batched":
+                computed, poisoned, modes = supervisor.run_batch_grouped(jobs)
+            else:
+                computed, poisoned = supervisor.run_batch(jobs)
+                modes = {}
             for slot in to_run:
                 index = indices[slot]
                 if index in computed:
                     payloads[slot] = computed[index]
                     result.simulated += 1
+                    result.stats.record_mode(modes.get(index, "full"))
                     if store is not None:
                         rows.append(
                             (keys[slot], computed[index], canonical_json(specs[slot]))

@@ -88,6 +88,17 @@ class RawWordCode(EccCode):
     def decode(self, codeword: int) -> DecodeResult:
         return DecodeResult(data=codeword & 0xFFFFFFFF, status=DecodeStatus.CLEAN)
 
+    # Batch fast paths: identity in, CLEAN out — no per-word dispatch.
+    def encode_many(self, words) -> List[int]:
+        return [word & 0xFFFFFFFF for word in words]
+
+    def decode_many(self, codewords) -> List[DecodeResult]:
+        clean = DecodeStatus.CLEAN
+        return [
+            DecodeResult(data=codeword & 0xFFFFFFFF, status=clean)
+            for codeword in codewords
+        ]
+
 
 def dl1_code_for_policy(policy: EccPolicy) -> EccCode:
     """The code stored in the DL1 data array under ``policy``."""
@@ -160,6 +171,11 @@ class ArchInjectionResult:
     #: The divergent dynamic stream (kept only when ``keep_trace`` was
     #: requested; never serialised into store payloads).
     faulty_trace: Optional[FunctionalTrace] = field(default=None, repr=False)
+    #: How the result was produced (``point``/``analytical``/``streamed``/
+    #: ``full``) — execution metadata for throughput accounting, never
+    #: serialised into store payloads (payload byte-identity across
+    #: replay modes is an acceptance criterion).
+    replay_mode: str = field(default="point", repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     def payload(self) -> Dict[str, object]:
@@ -647,6 +663,275 @@ def _l2_fault_fired(trace: FunctionalTrace, fault: FaultSpec) -> bool:
     """Whether the run reaches the L2 fault's injection ordinal at all."""
     ops = sum(1 for dyn in trace.instructions if dyn.address is not None)
     return ops >= fault.at_access
+
+
+# ---------------------------------------------------------------------- #
+# batched replay backend                                                 #
+# ---------------------------------------------------------------------- #
+#: (kernel, scale) -> lean golden run shared by every fault in a group.
+_LEAN_GOLDEN_CACHE: Dict[Tuple[str, float], "GoldenRun"] = {}
+_LEAN_GOLDEN_CACHE_MAX = 8
+
+
+def lean_golden_for_kernel(kernel: str, scale: float) -> "GoldenRun":
+    """Build (or fetch) the lean golden artefacts of one kernel.
+
+    The batched path's replacement for ``cached_kernel_trace`` +
+    ``_golden_final_memory``: one pre-decoded execution records the PC
+    stream, memory-op stream, store history, snapshots and final image —
+    everything triage and suffix-resume consume — without ever
+    materialising per-instruction trace objects.
+    """
+    from repro.campaign.lean_sim import golden_pass
+
+    key = (kernel, scale)
+    cached = lru_get(_LEAN_GOLDEN_CACHE, key)
+    if cached is None:
+        from repro.workloads import build_kernel
+
+        cached = golden_pass(build_kernel(kernel, scale=scale))
+        lru_put(_LEAN_GOLDEN_CACHE, key, cached, _LEAN_GOLDEN_CACHE_MAX)
+    return cached
+
+
+def warm_lean_golden(kernels, scales) -> None:
+    """Preload golden artefacts (process-pool initializer hook).
+
+    Best-effort: a kernel that fails to warm simply warms lazily on its
+    first job — an initializer exception would poison the whole pool.
+    """
+    for kernel in kernels:
+        for scale in scales:
+            try:
+                lean_golden_for_kernel(kernel, scale)
+            except Exception:  # noqa: BLE001 - warming must never kill a worker
+                continue
+
+
+def _analytic_result(
+    spec: SimulationSpec, verdict, golden_instructions: int
+) -> ArchInjectionResult:
+    return ArchInjectionResult(
+        spec=spec,
+        outcome=ArchOutcome(verdict.outcome),
+        triggered=verdict.triggered,
+        resident=verdict.resident,
+        dirty_at_injection=verdict.dirty_at_injection,
+        diverged=False,
+        events=tuple(verdict.events),
+        golden_instructions=golden_instructions,
+        faulty_instructions=golden_instructions,
+        replay_mode="analytical",
+    )
+
+
+def _run_residue(
+    spec: SimulationSpec, golden, geometry, plan
+) -> ArchInjectionResult:
+    """Execute one diverging fault via snapshot suffix-resume."""
+    from repro.campaign.lean_sim import (
+        memories_equal,
+        replay_set_state,
+        resume_faulty,
+    )
+
+    fault = spec.fault
+    wa = fault.word_address & ~0x3
+    set_state = replay_set_state(
+        golden,
+        set_index=(wa >> geometry.line_bits) & geometry.set_mask,
+        line_bits=geometry.line_bits,
+        set_mask=geometry.set_mask,
+        ways=geometry.ways,
+        write_allocate=geometry.write_allocate,
+        write_back=geometry.write_back,
+        until_op=plan.divergence_op,
+    )
+    golden_len = golden.instructions
+    limit = min(spec.max_instructions, 4 * golden_len + 10_000)
+    run = resume_faulty(
+        golden,
+        divergence_instr=plan.divergence_instr,
+        fault_wa=wa,
+        cache_xor=plan.cache_xor,
+        backing_value=plan.backing_value,
+        resident=plan.resident_before,
+        set_state=set_state,
+        line_bits=geometry.line_bits,
+        set_mask=geometry.set_mask,
+        limit=limit,
+    )
+    state_match = memories_equal(run.final_mem, golden.mem_final)
+    is_l2 = fault.target == "l2"
+    outcome = _classify(
+        triggered=True,
+        live=True,
+        events=run.extra_events,
+        diverged=True,
+        stream_match=run.stream_matches_golden,
+        state_match=state_match,
+    )
+    return ArchInjectionResult(
+        spec=spec,
+        outcome=outcome,
+        triggered=True,
+        resident=True,
+        dirty_at_injection=False if is_l2 else plan.dirty_at_injection,
+        diverged=True,
+        events=tuple(run.extra_events),
+        golden_instructions=golden_len,
+        faulty_instructions=run.faulty_instructions,
+        replay_mode="streamed",
+    )
+
+
+def run_injection_batch(
+    specs,
+    *,
+    program: Optional[Program] = None,
+) -> List[ArchInjectionResult]:
+    """Classify a batch of fault injections against shared golden state.
+
+    The batch is grouped by (kernel, scale); each group derives its
+    golden artefacts (lean golden run, per-word cache timelines) once.
+    An analytical triage pass then classifies every dead-on-arrival or
+    code-healed flip with zero re-execution, batching the corrupted
+    codeword decodes through the vectorised
+    :meth:`~repro.ecc.codec.EccCode.decode_many`; only faults whose
+    corruption becomes load-visible are executed, via snapshot
+    suffix-resume.  Points outside the proven triage tree fall back to
+    the classic per-point :func:`run_injection`, so the batch entry
+    point is safe for *any* spec mix.
+
+    Results come back in input order with payloads byte-identical to
+    the per-point path (differentially tested over full grids).
+    """
+    from repro.campaign import triage as _triage
+    from repro.campaign.lean_sim import golden_pass
+    from repro.campaign.timeline import build_timelines
+
+    specs = list(specs)
+    results: List[Optional[ArchInjectionResult]] = [None] * len(specs)
+
+    groups: Dict[Tuple[Optional[str], float], List[int]] = {}
+    for index, spec in enumerate(specs):
+        if spec.fault is None:
+            raise ValueError("run_injection_batch needs specs with faults armed")
+        groups.setdefault((spec.kernel, spec.scale), []).append(index)
+
+    shared_golden = None
+    if program is not None:
+        shared_golden = golden_pass(
+            program, max_instructions=min(s.max_instructions for s in specs)
+        )
+
+    for (kernel, scale), indices in groups.items():
+        if shared_golden is not None:
+            golden = shared_golden
+        elif kernel is None:
+            raise ValueError(
+                "faulty specs without a kernel need an explicit program="
+            )
+        else:
+            golden = lean_golden_for_kernel(kernel, scale)
+        golden_len = golden.instructions
+
+        # Pass 1: resolve each point's geometry/code, collect the words
+        # every timeline walk must watch.
+        contexts: List[Optional[tuple]] = []
+        fallback: List[int] = []
+        geometry_words: Dict[object, set] = {}
+        for index in indices:
+            spec = specs[index]
+            fault = spec.fault
+            policy = spec.resolved_policy()
+            hierarchy = spec.core_config().resolved_hierarchy_config()
+            geometry = _triage.geometry_for(hierarchy.l1d)
+            if geometry is None or hierarchy.l1d.line_bytes < 4:
+                fallback.append(index)
+                contexts.append(None)
+                continue
+            wa = fault.word_address & ~0x3
+            code = (
+                dl1_code_for_policy(policy)
+                if fault.target == "dl1"
+                else l2_code_for_policy(policy)
+            )
+            geometry_words.setdefault(geometry, set()).add(wa)
+            contexts.append((index, spec, fault, geometry, wa, code))
+
+        timelines = {
+            geometry: build_timelines(golden, geometry, words)
+            for geometry, words in geometry_words.items()
+        }
+
+        # Pass 2: derive every corrupted codeword, batched per code.
+        by_code: Dict[str, tuple] = {}
+        point_decode_slot: Dict[int, Tuple[str, int]] = {}
+        golden_values: Dict[int, int] = {}
+        for context in contexts:
+            if context is None:
+                continue
+            index, spec, fault, geometry, wa, code = context
+            events = timelines[geometry][wa]
+            if fault.target == "dl1":
+                a_eff = max(1, fault.at_access)
+                value = golden.value_at(wa, a_eff)
+            else:
+                _, _, _, last_sync = _triage._state_before(
+                    events, max(1, fault.at_access),
+                    write_back=geometry.write_back,
+                )
+                if geometry.write_back:
+                    value = _triage._golden_backing(golden, wa, last_sync)
+                else:
+                    value = golden.value_at(wa, max(1, fault.at_access))
+            golden_values[index] = value
+            bit = fault.bit % code.total_bits
+            entry = by_code.setdefault(code.name, (code, [], []))
+            entry[1].append(index)
+            point_decode_slot[index] = (code.name, len(entry[1]) - 1)
+            entry[2].append(value)
+
+        decode_results: Dict[int, DecodeResult] = {}
+        for code_name, (code, code_indices, values) in by_code.items():
+            codewords = code.encode_many(values)
+            flipped = [
+                codeword ^ (1 << (specs[i].fault.bit % code.total_bits))
+                for codeword, i in zip(codewords, code_indices)
+            ]
+            for i, decoded in zip(code_indices, code.decode_many(flipped)):
+                decode_results[i] = decoded
+
+        # Pass 3: triage; execute only the residue.
+        for context in contexts:
+            if context is None:
+                continue
+            index, spec, fault, geometry, wa, code = context
+            events = timelines[geometry][wa]
+            if fault.target == "dl1":
+                verdict = _triage.triage_dl1(
+                    golden, geometry, wa, fault.at_access, events,
+                    decode_results[index], golden_values[index],
+                )
+            else:
+                verdict = _triage.triage_l2(
+                    golden, geometry, wa, fault.at_access, events,
+                    decode_results[index], golden_values[index],
+                )
+            if verdict is None:
+                fallback.append(index)
+            elif isinstance(verdict, _triage.ResiduePlan):
+                results[index] = _run_residue(spec, golden, geometry, verdict)
+            else:
+                results[index] = _analytic_result(spec, verdict, golden_len)
+
+        for index in fallback:
+            result = run_injection(specs[index], program=program)
+            result.replay_mode = "full"
+            results[index] = result
+
+    return [result for result in results if result is not None]
 
 
 def simulate_faulty_spec(

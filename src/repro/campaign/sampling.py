@@ -257,3 +257,58 @@ def sample_faults(
     cursor[1] = rng
     lru_put(_CURSOR_CACHE, key, cursor, _CURSOR_CACHE_MAX)
     return points
+
+
+def replay_group_key(
+    kernel: str,
+    scale: float,
+    *,
+    target: str = DEFAULT_TARGET,
+    scenario: str = ISOLATION_SCENARIO,
+) -> Tuple[str, float, str, str]:
+    """The batched-replay grouping key of one sampled point.
+
+    Points sharing it run against one shared set of golden artefacts
+    (lean golden trace, final memory, per-word cache timelines) in
+    :func:`repro.campaign.replay.run_injection_batch`; the policy axis
+    deliberately stays out of the key — every policy of a group reuses
+    the same golden run, only the codeword decode differs.
+    """
+    return (kernel, scale, target, scenario)
+
+
+def sample_fault_groups(
+    strata,
+    count: int,
+    *,
+    seed: int,
+    start: int = 0,
+):
+    """Group-ordered emission of one batch window across many strata.
+
+    ``strata`` is an iterable of ``(kernel, scale, policy_value,
+    target, scenario)`` tuples; the result is an insertion-ordered dict
+    ``replay_group_key -> [(policy_value, FaultSpec), ...]`` with every
+    group's points contiguous, so a consumer hands each group straight
+    to ``run_injection_batch`` without re-sorting.  Each stratum's
+    points are drawn by :func:`sample_faults` with identical windows,
+    so the emitted sequences are byte-identical to per-stratum
+    sampling — grouping changes execution order, never the points.
+    """
+    groups: Dict[Tuple[str, float, str, str], List] = {}
+    for kernel, scale, policy_value, target, scenario in strata:
+        faults = sample_faults(
+            kernel,
+            scale,
+            policy_value,
+            count,
+            seed=seed,
+            start=start,
+            target=target,
+            scenario=scenario,
+        )
+        bucket = groups.setdefault(
+            replay_group_key(kernel, scale, target=target, scenario=scenario), []
+        )
+        bucket.extend((policy_value, fault) for fault in faults)
+    return groups

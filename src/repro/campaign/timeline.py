@@ -1,0 +1,147 @@
+"""Metadata-only cache timeline walks for the batched replay backend.
+
+The key invariant the batched path exploits: the DL1's tag / dirty /
+replacement state depends only on the *address stream*, never on data
+values — and the address stream of a faulty run equals the golden one
+right up to its divergence point.  So one metadata-only walk of the
+golden memory-op stream (no data, no ECC, no register file) yields, for
+every word a batch of faults targets, the exact sequence of events that
+decides the fault's fate: when the word's line is filled (reads the
+backing store), evicted clean (corruption discarded) or dirty
+(corruption written back), when the word itself is loaded (corruption
+becomes architecturally visible) or stored (corruption overwritten),
+and what the end-of-run flush does to it.
+
+One walk covers *all* faulted words of a batch simultaneously — the
+cost is one pass over the op stream per (kernel, scale, write-policy)
+group, a few milliseconds, shared by hundreds of fault points.
+
+The per-set metadata model is :class:`~repro.campaign.lean_sim.OneSetModel`,
+the same replica of ``SetAssociativeCache`` set behaviour the faulty
+resume path uses, so the two stay in lock-step by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.campaign.lean_sim import GoldenRun, OneSetModel
+
+# Event kinds, ordered as appended while processing one op:
+# evictions precede fills precede the data access itself (mirroring
+# Dl1ContentModel._access -> load/store ordering).
+EV_EVICT_CLEAN = 0
+EV_EVICT_DIRTY = 1
+EV_FILL = 2  #: payload a = 1 when the allocating access is a WB store
+EV_LINE_STORE = 3  #: store to a *sibling* word of the same line
+EV_LOAD = 4  #: payload a = size, b = bit shift
+EV_STORE = 5  #: payload a = size, b = bit shift
+EV_END_FLUSH = 6  #: resident + dirty at end of run: flushed (writeback)
+EV_END_DISCARD = 7  #: resident + clean at end of run: discarded
+
+#: One event: (op ordinal, kind, a, b).  Ordinals are 1-based; the
+#: end-of-run events use ordinal ``total_ops + 1``.
+Event = Tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """The DL1 shape + write policy one timeline walk models."""
+
+    line_bits: int
+    set_bits: int
+    ways: int
+    write_back: bool
+    write_allocate: bool = True
+
+    @property
+    def set_mask(self) -> int:
+        return (1 << self.set_bits) - 1
+
+    @property
+    def line_mask(self) -> int:
+        return ~((1 << self.line_bits) - 1)
+
+
+def build_timelines(
+    golden: GoldenRun,
+    geometry: CacheGeometry,
+    words: Iterable[int],
+) -> Dict[int, List[Event]]:
+    """Per-word event timelines over the golden op stream.
+
+    ``words`` are the word addresses the batch's faults target; the
+    returned dict maps each to its ordered event list.
+    """
+    line_bits = geometry.line_bits
+    set_mask = geometry.set_mask
+    line_mask = geometry.line_mask
+    write_back = geometry.write_back
+
+    timelines: Dict[int, List[Event]] = {wa: [] for wa in words}
+    lines: Dict[int, List[int]] = {}
+    for wa in timelines:
+        lines.setdefault(wa & line_mask, []).append(wa)
+
+    sets: Dict[int, OneSetModel] = {}
+    op_wa = golden.op_wa
+    op_store = golden.op_store
+    op_size = golden.op_size
+    op_shift = golden.op_shift
+    lines_get = lines.get
+
+    for position in range(len(op_wa)):
+        wa = op_wa[position]
+        is_store = op_store[position]
+        line_address = wa & line_mask
+        set_index = (wa >> line_bits) & set_mask
+        model = sets.get(set_index)
+        if model is None:
+            model = OneSetModel(
+                geometry.ways,
+                write_allocate=geometry.write_allocate,
+                write_back=write_back,
+            )
+            sets[set_index] = model
+        evicted_line, evicted_dirty, filled = model.access(line_address, is_store)
+        ordinal = position + 1
+        if evicted_line is not None:
+            watched = lines_get(evicted_line)
+            if watched:
+                kind = EV_EVICT_DIRTY if evicted_dirty else EV_EVICT_CLEAN
+                for watched_wa in watched:
+                    timelines[watched_wa].append((ordinal, kind, 0, 0))
+        if filled:
+            watched = lines_get(line_address)
+            if watched:
+                dirty0 = 1 if (is_store and write_back) else 0
+                for watched_wa in watched:
+                    timelines[watched_wa].append((ordinal, EV_FILL, dirty0, 0))
+        if is_store:
+            watched = lines_get(line_address)
+            if watched:
+                for watched_wa in watched:
+                    if watched_wa == wa:
+                        timelines[wa].append(
+                            (ordinal, EV_STORE, op_size[position], op_shift[position])
+                        )
+                    elif write_back:
+                        timelines[watched_wa].append((ordinal, EV_LINE_STORE, 0, 0))
+        elif wa in timelines:
+            timelines[wa].append(
+                (ordinal, EV_LOAD, op_size[position], op_shift[position])
+            )
+
+    # End-of-run flush: every line still resident either writes back
+    # (dirty) or is discarded (clean).
+    end_ordinal = len(op_wa) + 1
+    for line_address, watched in lines.items():
+        set_index = (line_address >> line_bits) & set_mask
+        model = sets.get(set_index)
+        if model is None or not model.resident(line_address):
+            continue
+        kind = EV_END_FLUSH if model.line_dirty(line_address) else EV_END_DISCARD
+        for watched_wa in watched:
+            timelines[watched_wa].append((end_ordinal, kind, 0, 0))
+    return timelines

@@ -1,0 +1,405 @@
+"""Analytical fault triage for the batched replay backend.
+
+Given the golden artefacts of one (kernel, scale) group — the lean
+golden run and the per-word cache event timelines — this module
+classifies most fault points with *zero* re-execution:
+
+* a flip that fires while the word's line is not resident corrupts no
+  live data → ``masked``;
+* a SECDED-protected flip is healed (and recorded) by whichever decode
+  touches it first: a load or sub-word RMW store (``load_corrected``),
+  a dirty writeback (``writeback_corrected``) — or dies silently under
+  a full-word overwrite / clean eviction → ``corrected`` / ``masked``;
+* a parity-protected flip under write-through is refetched on first
+  read (``load_detected_refetch``) or silently discarded → ``detected``
+  / ``masked``;
+* an unprotected (raw) flip is walked as an XOR mask through the
+  word's event stream — overwrites shrink it, dirty writebacks push it
+  into the backing store, clean evictions discard it, fills re-import
+  it — until it either dies (``masked``), survives to the final image
+  unread (``sdc``), or becomes visible to a load;
+* an L2-targeted flip is superseded by the first backing write, healed
+  by the first backing read under a SECDED L2 (``l2_corrected``), or —
+  under the unprotected baseline — enters the DL1 on first fill and
+  joins the same raw mask walk.
+
+Only the last bullet's endpoint — a load that actually observes a
+corrupted value — needs execution; those points come back as
+:class:`ResiduePlan`\\ s and are re-run from the nearest golden snapshot
+by :func:`repro.campaign.lean_sim.resume_faulty`.
+
+Any situation outside the proven decision tree (non-LRU replacement,
+detected-uncorrectable on a write-back policy, raw words under
+write-through…) returns ``None`` → the caller falls back to the classic
+per-point :func:`repro.campaign.replay.run_injection`, so correctness
+never depends on triage coverage.
+
+The equivalence of every branch against the executed path is pinned by
+the full-grid differential tests in ``tests/test_batched_replay.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.lean_sim import GoldenRun
+from repro.campaign.timeline import (
+    EV_END_DISCARD,
+    EV_END_FLUSH,
+    EV_EVICT_CLEAN,
+    EV_EVICT_DIRTY,
+    EV_FILL,
+    EV_LINE_STORE,
+    EV_LOAD,
+    EV_STORE,
+    CacheGeometry,
+    Event,
+)
+from repro.ecc.codec import DecodeResult, DecodeStatus
+from repro.memory.config import CacheConfig, ReplacementPolicy, WritePolicy
+
+
+@dataclass
+class AnalyticOutcome:
+    """A point fully classified from the golden artefacts."""
+
+    outcome: str  #: ArchOutcome value string
+    triggered: bool
+    resident: bool
+    dirty_at_injection: bool
+    events: Tuple[str, ...] = ()
+
+
+@dataclass
+class ResiduePlan:
+    """A point whose corruption becomes load-visible: needs execution.
+
+    Carries the exact machine state at the divergence point so
+    :func:`~repro.campaign.lean_sim.resume_faulty` can resume from the
+    nearest golden snapshot instead of re-running from scratch.
+    """
+
+    divergence_op: int  #: 1-based ordinal of the first corrupted load
+    divergence_instr: int  #: retired-instruction index of that load
+    cache_xor: int  #: XOR of the faulted word's cache copy vs golden
+    backing_value: int  #: absolute below-DL1 value of the word
+    resident_before: bool  #: line resident right before the diverging op
+    dirty_at_injection: bool  #: payload flag (state when the flip landed)
+
+
+#: Triage verdicts: fully classified, needs execution, or out of the
+#: proven tree (``None`` → classic per-point fallback).
+Verdict = Optional[Union[AnalyticOutcome, ResiduePlan]]
+
+
+def geometry_for(config: CacheConfig) -> Optional[CacheGeometry]:
+    """Timeline/resume geometry for a DL1 config; None if unsupported."""
+    if config.replacement is not ReplacementPolicy.LRU:
+        return None
+    return CacheGeometry(
+        line_bits=config.line_bytes.bit_length() - 1,
+        set_bits=config.sets.bit_length() - 1,
+        ways=config.ways,
+        write_back=config.write_policy is WritePolicy.WRITE_BACK,
+        write_allocate=config.write_allocate,
+    )
+
+
+# --------------------------------------------------------------------- #
+# residency / dirty state at the injection point                        #
+# --------------------------------------------------------------------- #
+def _state_before(
+    events: Sequence[Event], ordinal: int, *, write_back: bool = True
+) -> Tuple[int, bool, bool, Optional[int]]:
+    """(scan position, resident, dirty, last backing-sync ordinal) right
+    before op ``ordinal`` — i.e. after every event with ordinal < it."""
+    resident = False
+    dirty = False
+    last_sync: Optional[int] = None
+    position = 0
+    for position, (ord_, kind, a, _b) in enumerate(events):
+        if ord_ >= ordinal:
+            return position, resident, dirty, last_sync
+        if kind == EV_FILL:
+            resident = True
+            dirty = bool(a)
+        elif kind in (EV_EVICT_CLEAN, EV_EVICT_DIRTY):
+            if kind == EV_EVICT_DIRTY:
+                last_sync = ord_
+            resident = False
+            dirty = False
+        elif kind in (EV_STORE, EV_LINE_STORE):
+            if write_back:
+                dirty = True  # write-through stores never dirty a line
+    return len(events), resident, dirty, last_sync
+
+
+def _golden_backing(
+    golden: GoldenRun, wa: int, last_sync: Optional[int]
+) -> int:
+    """Golden run's below-DL1 value of ``wa`` after its last writeback."""
+    if last_sync is None:
+        return golden.mem_init.get(wa, 0)
+    return golden.value_at(wa, last_sync)
+
+
+# --------------------------------------------------------------------- #
+# protected-code walks (single decode heals or discards the flip)       #
+# --------------------------------------------------------------------- #
+def _walk_corrected(
+    events: Sequence[Event], start: int
+) -> Tuple[str, Tuple[str, ...]]:
+    """SECDED-style flip: first decode of the word heals it."""
+    for ord_, kind, a, _b in events[start:]:
+        if kind == EV_LOAD:
+            return "corrected", ("load_corrected",)
+        if kind == EV_STORE:
+            if a == 4:
+                return "masked", ()  # full overwrite, never decoded
+            return "corrected", ("load_corrected",)  # RMW decode
+        if kind in (EV_EVICT_DIRTY, EV_END_FLUSH):
+            return "corrected", ("writeback_corrected",)
+        if kind in (EV_EVICT_CLEAN, EV_END_DISCARD):
+            return "masked", ()
+    return "masked", ()
+
+
+def _walk_detected_wt(
+    events: Sequence[Event], start: int
+) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """Parity flip under write-through: first read refetches clean data."""
+    for ord_, kind, a, _b in events[start:]:
+        if kind == EV_LOAD:
+            return "detected", ("load_detected_refetch",)
+        if kind == EV_STORE:
+            if a == 4:
+                return "masked", ()
+            return "detected", ("load_detected_refetch",)  # RMW decode
+        if kind == EV_EVICT_CLEAN or kind == EV_END_DISCARD:
+            return "masked", ()
+        if kind in (EV_EVICT_DIRTY, EV_END_FLUSH, EV_LINE_STORE):
+            return None  # dirty line under WT: outside the proven tree
+    return "masked", ()
+
+
+# --------------------------------------------------------------------- #
+# raw (unprotected) mask walk                                           #
+# --------------------------------------------------------------------- #
+def _walk_raw(
+    golden: GoldenRun,
+    wa: int,
+    events: Sequence[Event],
+    start: int,
+    *,
+    cache_mask: int,
+    backing_mask: int,
+    resident: bool,
+    last_sync: Optional[int],
+    dirty_at_injection: bool,
+) -> Verdict:
+    """Track an unprotected corruption as XOR masks on the word's two
+    copies (cache / backing) through its event stream.
+
+    The decode of a raw word is the identity, so nothing is ever healed
+    or reported: the mask shrinks under stores, moves to the backing
+    store on dirty writebacks, dies on clean evictions and full
+    overwrites, re-enters on fills — until a load reads corrupted bits
+    (→ :class:`ResiduePlan`) or the run ends (→ ``sdc`` / ``masked``).
+    """
+    resident_at_fill_ord: Optional[int] = None
+    for ord_, kind, a, b in events[start:]:
+        if not cache_mask and not backing_mask:
+            return AnalyticOutcome(
+                outcome="masked",
+                triggered=True,
+                resident=True,
+                dirty_at_injection=dirty_at_injection,
+            )
+        if kind == EV_LOAD:
+            load_mask = ((1 << (8 * a)) - 1) << b
+            if resident and cache_mask & load_mask:
+                return ResiduePlan(
+                    divergence_op=ord_,
+                    divergence_instr=golden.op_instr[ord_ - 1],
+                    cache_xor=cache_mask,
+                    backing_value=_golden_backing(golden, wa, last_sync)
+                    ^ backing_mask,
+                    resident_before=resident_at_fill_ord != ord_,
+                    dirty_at_injection=dirty_at_injection,
+                )
+        elif kind == EV_STORE:
+            if a == 4:
+                cache_mask = 0
+            else:
+                cache_mask &= ~(((1 << (8 * a)) - 1) << b)
+        elif kind == EV_EVICT_DIRTY:
+            backing_mask = cache_mask
+            last_sync = ord_
+            resident = False
+            cache_mask = 0
+        elif kind == EV_EVICT_CLEAN:
+            resident = False
+            cache_mask = 0
+        elif kind == EV_FILL:
+            resident = True
+            resident_at_fill_ord = ord_
+            cache_mask = backing_mask
+        elif kind == EV_END_FLUSH:
+            backing_mask = cache_mask
+        elif kind == EV_END_DISCARD:
+            pass
+        # EV_LINE_STORE only tracks dirtiness; the eviction events
+        # already carry the resulting kind.
+    if backing_mask:
+        # Survived to the final architectural image without ever being
+        # read: silent data corruption, with no error event and no
+        # divergence (the classic path reaches the same verdict with
+        # `state_match=False, events=[], diverged=False`).
+        return AnalyticOutcome(
+            outcome="sdc",
+            triggered=True,
+            resident=True,
+            dirty_at_injection=dirty_at_injection,
+        )
+    return AnalyticOutcome(
+        outcome="masked",
+        triggered=True,
+        resident=True,
+        dirty_at_injection=dirty_at_injection,
+    )
+
+
+# --------------------------------------------------------------------- #
+# per-target triage                                                     #
+# --------------------------------------------------------------------- #
+def triage_dl1(
+    golden: GoldenRun,
+    geometry: CacheGeometry,
+    wa: int,
+    at_access: int,
+    events: Sequence[Event],
+    decode: DecodeResult,
+    golden_value: int,
+) -> Verdict:
+    """Classify one DL1-targeted flip; ``decode`` is the (batched)
+    decode of the corrupted codeword, ``golden_value`` the word's
+    golden value when the flip landed."""
+    total_ops = golden.total_ops
+    a_eff = max(1, at_access)
+    if total_ops < a_eff:
+        return AnalyticOutcome(
+            outcome="masked", triggered=False, resident=False,
+            dirty_at_injection=False,
+        )
+    start, resident, dirty, last_sync = _state_before(
+        events, a_eff, write_back=geometry.write_back
+    )
+    if not resident:
+        return AnalyticOutcome(
+            outcome="masked", triggered=True, resident=False,
+            dirty_at_injection=False,
+        )
+    if decode.status is DecodeStatus.CORRECTED:
+        outcome, evs = _walk_corrected(events, start)
+        return AnalyticOutcome(
+            outcome=outcome, triggered=True, resident=True,
+            dirty_at_injection=dirty, events=evs,
+        )
+    if decode.status is DecodeStatus.DETECTED_UNCORRECTABLE:
+        if geometry.write_back or dirty:
+            return None  # detected on dirty data: classic path decides
+        walked = _walk_detected_wt(events, start)
+        if walked is None:
+            return None
+        outcome, evs = walked
+        return AnalyticOutcome(
+            outcome=outcome, triggered=True, resident=True,
+            dirty_at_injection=dirty, events=evs,
+        )
+    # CLEAN decode: a raw, unprotected word.
+    if not geometry.write_back:
+        return None  # raw words under write-through: unproven combination
+    mask = (decode.data ^ golden_value) & 0xFFFFFFFF
+    if mask == 0:
+        return None  # a "flip" the decode cannot see: defer to classic
+    return _walk_raw(
+        golden, wa, events, start,
+        cache_mask=mask, backing_mask=0, resident=True,
+        last_sync=last_sync, dirty_at_injection=dirty,
+    )
+
+
+def triage_l2(
+    golden: GoldenRun,
+    geometry: CacheGeometry,
+    wa: int,
+    at_access: int,
+    events: Sequence[Event],
+    decode: DecodeResult,
+    golden_backing_value: int,
+) -> Verdict:
+    """Classify one L2-targeted flip.
+
+    ``decode`` is the L2 code's decode of the corrupted codeword that
+    :meth:`Dl1ContentModel.inject_l2_fault` would have planted (encoded
+    from ``golden_backing_value``, the backing copy at injection time).
+    """
+    total_ops = golden.total_ops
+    # The classic path's `triggered` is `total_ops >= at_access` even in
+    # the degenerate at_access < 1 case where the injection hook never
+    # fires; replicate both the flag and the no-corruption behaviour.
+    triggered = total_ops >= at_access
+    if not triggered or at_access < 1:
+        return AnalyticOutcome(
+            outcome="masked", triggered=triggered, resident=triggered,
+            dirty_at_injection=False,
+        )
+    position, resident, _dirty, last_sync = _state_before(
+        events, at_access, write_back=geometry.write_back
+    )
+    write_back = geometry.write_back
+    for index in range(position, len(events)):
+        ord_, kind, a, _b = events[index]
+        is_bwrite = (
+            kind in (EV_EVICT_DIRTY, EV_END_FLUSH)
+            or (not write_back and kind == EV_STORE)
+        )
+        if is_bwrite:
+            # A backing write supersedes the not-yet-read corrupt
+            # codeword; nothing was ever observed.
+            return AnalyticOutcome(
+                outcome="masked", triggered=True, resident=True,
+                dirty_at_injection=False,
+            )
+        if kind == EV_FILL:
+            # First backing read: the corrupt codeword is decoded.
+            if decode.status is DecodeStatus.CORRECTED:
+                return AnalyticOutcome(
+                    outcome="corrected", triggered=True, resident=True,
+                    dirty_at_injection=False, events=("l2_corrected",),
+                )
+            if decode.status is DecodeStatus.CLEAN:
+                if not write_back:
+                    return None
+                mask = (decode.data ^ golden_backing_value) & 0xFFFFFFFF
+                if mask == 0:
+                    return None
+                # The corrupt word is now both in the backing store and
+                # in the freshly filled line: join the raw mask walk at
+                # this fill (which re-processes the fill event itself).
+                verdict = _walk_raw(
+                    golden, wa, events, index,
+                    cache_mask=0, backing_mask=mask, resident=False,
+                    last_sync=last_sync, dirty_at_injection=False,
+                )
+                if isinstance(verdict, AnalyticOutcome):
+                    verdict.resident = True  # L2 flips always hit live data
+                return verdict
+            return None  # detected-uncorrectable L2 read: classic decides
+    # The corrupt codeword is never read nor overwritten: it stays in
+    # the L2 array, the architectural backing image is untouched.
+    return AnalyticOutcome(
+        outcome="masked", triggered=True, resident=True,
+        dirty_at_injection=False,
+    )

@@ -32,6 +32,7 @@ tests hold the two bit-identical over clean words and all flips.
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, List
 
 from repro.ecc.codec import DecodeResult, DecodeStatus, EccCode, register_code
@@ -80,7 +81,8 @@ class HammingSecCode(EccCode):
 
         # Positional syndrome -> data-word correction mask (0 for check
         # positions: flipping a stored check bit never changes the data).
-        self._syndrome_flip: List[int] = [0] * (self._codeword_length + 1)
+        # A C int array: the batch decode indexes it once per codeword.
+        self._syndrome_flip: array = array("q", bytes(8 * (self._codeword_length + 1)))
         for index, pos in enumerate(self._data_positions):
             self._syndrome_flip[pos] = 1 << index
 

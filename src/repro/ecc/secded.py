@@ -35,6 +35,7 @@ equivalence tests hold the two bit-identical.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.ecc.codec import DecodeResult, DecodeStatus, EccCode, register_code
@@ -42,6 +43,14 @@ from repro.ecc.reference import build_hsiao_columns
 
 #: Re-exported for backwards compatibility with the seed module layout.
 _build_hsiao_columns = build_hsiao_columns
+
+
+#: Construction products per (data_bits, check_bits): building the H
+#: matrix, byte XOR tables and the dense syndrome table costs a few
+#: milliseconds — noticeable when spec canonicalisation instantiates a
+#: code per point (the warm-resume hot path) — and the products are
+#: immutable once built, so every instance of a given shape shares them.
+_CONSTRUCTION_CACHE: Dict[Tuple[int, int], Tuple[List[int], Dict[int, int], list, object]] = {}
 
 
 class HsiaoSecDedCode(EccCode):
@@ -58,6 +67,15 @@ class HsiaoSecDedCode(EccCode):
             while (1 << (check_bits - 1)) < data_bits + check_bits + 1:
                 check_bits += 1
         self.check_bits = check_bits
+        cached = _CONSTRUCTION_CACHE.get((data_bits, check_bits))
+        if cached is not None:
+            (
+                self._data_columns,
+                self._syndrome_to_position,
+                self._byte_tables,
+                self._syndrome_table,
+            ) = cached
+            return
         self._data_columns: List[int] = build_hsiao_columns(data_bits, check_bits)
         # Map syndrome -> erroneous bit position in the public layout
         # (kept as a dict for introspection; the dense list below is the
@@ -69,10 +87,11 @@ class HsiaoSecDedCode(EccCode):
             self._syndrome_to_position[1 << check_index] = data_bits + check_index
 
         # Per-byte XOR tables: table i maps a byte value to the XOR of the
-        # H columns of data bits [8i, 8i+8).
-        self._byte_tables: List[List[int]] = []
+        # H columns of data bits [8i, 8i+8).  Stored as C int arrays so
+        # the batch paths index machine words, not boxed-Python lists.
+        self._byte_tables: List[array] = []
         for base in range(0, data_bits, 8):
-            table = [0] * 256
+            table = array("q", bytes(8 * 256))
             width = min(8, data_bits - base)
             for byte in range(256):
                 acc = 0
@@ -86,9 +105,15 @@ class HsiaoSecDedCode(EccCode):
 
         # Dense syndrome -> position table (only odd-weight syndromes are
         # ever looked up; -1 marks "no matching column").
-        self._syndrome_table: List[int] = [-1] * (1 << check_bits)
+        self._syndrome_table: array = array("q", [-1]) * (1 << check_bits)
         for syndrome, position in self._syndrome_to_position.items():
             self._syndrome_table[syndrome] = position
+        _CONSTRUCTION_CACHE[(data_bits, check_bits)] = (
+            self._data_columns,
+            self._syndrome_to_position,
+            self._byte_tables,
+            self._syndrome_table,
+        )
 
     # ------------------------------------------------------------------ #
     @property

@@ -251,6 +251,52 @@ class ResultStore:
         self.hits += 1
         return payload
 
+    def get_many(self, keys: List[str]) -> Dict[str, Dict[str, object]]:
+        """Resolve many keys in one query; returns only the hits.
+
+        Semantically equivalent to calling :meth:`get` per key — same
+        checksum verification, same corrupt-row dropping, same hit/miss
+        accounting — but the SELECT runs once (chunked under SQLite's
+        host-parameter limit) instead of once per key.  The warm
+        resume path resolves a whole stratum's store hits up front with
+        this before entering the supervisor loop.
+        """
+        found: Dict[str, Dict[str, object]] = {}
+        if not keys:
+            return found
+        rows: Dict[str, Tuple[str, str]] = {}
+        # SQLite's default variable limit is 999; stay well under it.
+        chunk_size = 500
+        unique = list(dict.fromkeys(keys))
+        for start in range(0, len(unique), chunk_size):
+            chunk = unique[start : start + chunk_size]
+            placeholders = ",".join("?" * len(chunk))
+            for key, payload_text, checksum in self._connection.execute(
+                f"SELECT key, payload, checksum FROM results "
+                f"WHERE key IN ({placeholders})",
+                chunk,
+            ):
+                rows[key] = (payload_text, checksum)
+        for key in unique:
+            row = rows.get(key)
+            if row is None:
+                self.misses += 1
+                continue
+            payload_text, checksum = row
+            if checksum and payload_checksum(payload_text) != checksum:
+                self._drop_corrupt(key)
+                self.misses += 1
+                continue
+            try:
+                payload = json.loads(payload_text)
+            except ValueError:
+                self._drop_corrupt(key)
+                self.misses += 1
+                continue
+            self.hits += 1
+            found[key] = payload
+        return found
+
     def _drop_corrupt(self, key: str) -> None:
         with_lock_retry(
             lambda: (

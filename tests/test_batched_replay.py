@@ -1,0 +1,430 @@
+"""Differential equivalence of the batched replay backend.
+
+``run_injection_batch`` must be *payload byte-identical* to the classic
+per-point ``run_injection`` over full grids — the analytical triage, the
+snapshot suffix-resume and the classic fallback are three routes to one
+answer, never three answers.  These tests pin that equivalence over:
+
+* the lean pre-decoded golden pass vs the functional simulator;
+* exhaustive synthetic grids engineered to hit every triage branch
+  (crash, hang, subword read-modify-write, sign extension, protected
+  policies with corrected / detected / writeback events);
+* sampled real-kernel strata across policies and both fault targets;
+* the campaign engine in ``batched`` vs ``point`` mode, including the
+  replay-mode counters, store-warm resume and chaos injection.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    parse_chaos,
+    replay_group_key,
+    run_campaign,
+    run_injection,
+    run_injection_batch,
+    sample_fault_groups,
+    sample_faults,
+)
+from repro.functional.simulator import FunctionalSimulator, run_program
+from repro.isa.assembler import assemble
+from repro.scenarios.spec import FaultSpec, SimulationSpec
+from repro.store import ResultStore
+
+# --------------------------------------------------------------------- #
+# synthetic programs: each one corners a different triage branch        #
+# --------------------------------------------------------------------- #
+
+#: Corrupted function pointer -> indirect jump -> crash (DETECTED).
+CRASH_PROGRAM = """
+.data
+ptr:
+    .word 0
+.text
+main:
+    set target, r5
+    set ptr, r1
+    st r5, [r1]
+    ld [r1], r2
+    ld [r1], r2
+    jmpl r2, 0, r7
+    halt
+target:
+    halt
+"""
+
+#: Loop bound read from memory -> a flipped high bit hangs (DETECTED).
+HANG_PROGRAM = """
+.data
+count:
+    .word 3
+.text
+main:
+    set count, r1
+    ld [r1], r2
+loop:
+    subcc r2, 1, r2
+    bne loop
+    halt
+"""
+
+#: Subword read-modify-write traffic: byte/half stores merge into a
+#: word the fault may already have corrupted; sign/zero extension on
+#: the reads makes partial corruption architecturally visible.
+SUBWORD_PROGRAM = """
+.data
+buf:
+    .word 0x8180F07F
+    .word 0
+.text
+main:
+    set buf, r1
+    ldsb [r1], r2
+    stb r2, [r1 + 4]
+    ldsh [r1 + 2], r3
+    sth r3, [r1 + 6]
+    ldub [r1 + 1], r4
+    st r4, [r1 + 4]
+    ld [r1], r5
+    halt
+"""
+
+#: Same traffic, plus a dirty word that must be written back at the
+#: end of the run (exercises writeback_corrected / END_FLUSH triage).
+WRITEBACK_PROGRAM = """
+.data
+src:
+    .word 0x13579BDF
+dst:
+    .word 0
+.text
+main:
+    set src, r1
+    set dst, r2
+    ld [r1], r3
+    st r3, [r2]
+    ld [r1], r4
+    st r4, [r2]
+    halt
+"""
+
+
+def _words_of(trace):
+    return sorted({d.address & ~3 for d in trace.instructions if d.address is not None})
+
+
+def _mem_ops(trace):
+    return sum(1 for d in trace.instructions if d.address is not None)
+
+
+def _grid(program_text, name, policies, *, bits, targets=("dl1", "l2")):
+    """Exhaustive (policy x target x word x bit x access) spec grid."""
+    program = assemble(program_text, name=name)
+    trace = run_program(program)
+    words = _words_of(trace)
+    ops = _mem_ops(trace)
+    specs = []
+    for policy, target in itertools.product(policies, targets):
+        for wa in words:
+            for bit in bits:
+                for at_access in range(1, ops + 2):
+                    specs.append(
+                        SimulationSpec(
+                            policy=policy,
+                            fault=FaultSpec(
+                                target=target,
+                                word_address=wa,
+                                bit=bit,
+                                at_access=at_access,
+                            ),
+                        )
+                    )
+    return program, trace, specs
+
+
+def _assert_equivalent(program, trace, specs):
+    batch = run_injection_batch(specs, program=program)
+    assert len(batch) == len(specs)
+    for spec, batched in zip(specs, batch):
+        classic = run_injection(spec, program=program, trace=trace)
+        assert batched.payload() == classic.payload(), (
+            f"batched != classic for {spec.fault} under {spec.policy}"
+        )
+
+
+# --------------------------------------------------------------------- #
+# lean golden pass                                                      #
+# --------------------------------------------------------------------- #
+class TestLeanGoldenPass:
+    @pytest.mark.parametrize("kernel", ["rspeed", "canrdr"])
+    def test_matches_functional_simulator(self, kernel):
+        from repro.campaign.lean_sim import golden_pass, memories_equal
+        from repro.workloads import build_kernel
+
+        program = build_kernel(kernel, scale=0.05)
+        golden = golden_pass(program)
+        trace = run_program(program)
+        assert golden.instructions == len(trace)
+        assert golden.pcs == [d.pc for d in trace.instructions]
+        assert golden.total_ops == _mem_ops(trace)
+
+        simulator = FunctionalSimulator(program)
+        simulator.run()
+        final = {}
+        for page_number, data in simulator.memory._pages.items():
+            base = page_number << 12
+            for offset in range(0, len(data), 4):
+                word = int.from_bytes(data[offset : offset + 4], "little")
+                if word:
+                    final[base + offset] = word
+        assert memories_equal(golden.mem_final, final)
+
+    def test_store_history_reconstructs_values_over_time(self):
+        from repro.campaign.lean_sim import golden_pass
+
+        program = assemble(WRITEBACK_PROGRAM, name="wb_hist")
+        golden = golden_pass(program)
+        trace = run_program(program)
+        dst = next(d.address for d in trace.instructions if d.is_store) & ~3
+        # Before the first store the word is its initial value; after
+        # the last memory op it is the stored value.
+        assert golden.value_at(dst, 1) == 0
+        assert golden.value_at(dst, golden.total_ops + 1) == 0x13579BDF
+
+
+# --------------------------------------------------------------------- #
+# differential grids                                                    #
+# --------------------------------------------------------------------- #
+class TestSyntheticGridEquivalence:
+    BITS = (0, 7, 13, 31, 33, 38)  # data low/mid/high + check-bit region
+
+    def test_crash_grid(self):
+        program, trace, specs = _grid(
+            CRASH_PROGRAM, "crash_prog", ("no-ecc", "extra-cycle"), bits=self.BITS
+        )
+        _assert_equivalent(program, trace, specs)
+
+    def test_hang_grid(self):
+        program, trace, specs = _grid(
+            HANG_PROGRAM, "hang_prog", ("no-ecc",), bits=(28, 29, 30, 31)
+        )
+        _assert_equivalent(program, trace, specs)
+
+    def test_subword_rmw_grid(self):
+        program, trace, specs = _grid(
+            SUBWORD_PROGRAM, "subword_prog", ("no-ecc", "laec"), bits=self.BITS
+        )
+        _assert_equivalent(program, trace, specs)
+
+    def test_protected_policies_grid(self):
+        program, trace, specs = _grid(
+            WRITEBACK_PROGRAM,
+            "wb_prog",
+            ("extra-cycle", "wt-parity"),
+            bits=self.BITS,
+        )
+        _assert_equivalent(program, trace, specs)
+        # The protected grid must actually exercise the analytical
+        # corrected/detected walks, not just fall through to execution.
+        batch = run_injection_batch(specs, program=program)
+        events = {event for result in batch for event in result.events}
+        assert "load_corrected" in events
+        modes = {result.replay_mode for result in batch}
+        assert "analytical" in modes
+
+    def test_replay_mode_marker_stays_out_of_payload(self):
+        program, _trace, specs = _grid(
+            WRITEBACK_PROGRAM, "wb_prog2", ("no-ecc",), bits=(0,)
+        )
+        for result in run_injection_batch(specs, program=program):
+            assert result.replay_mode in ("analytical", "streamed", "full")
+            assert "replay_mode" not in result.payload()
+
+
+class TestKernelGridEquivalence:
+    def test_sampled_strata_across_policies_and_targets(self):
+        kernel, scale = "rspeed", 0.1
+        specs = []
+        for policy in ("no-ecc", "extra-cycle", "wt-parity", "laec"):
+            for target in ("dl1", "l2"):
+                for fault in sample_faults(
+                    kernel, scale, policy, 6, seed=2019, target=target
+                ):
+                    specs.append(
+                        SimulationSpec(
+                            kernel=kernel, scale=scale, policy=policy, fault=fault
+                        )
+                    )
+        batch = run_injection_batch(specs)
+        assert len(batch) == len(specs)
+        for spec, batched in zip(specs, batch):
+            assert batched.payload() == run_injection(spec).payload()
+
+
+# --------------------------------------------------------------------- #
+# group-ordered emission                                                #
+# --------------------------------------------------------------------- #
+class TestGroupedSampling:
+    def test_groups_are_ordered_and_byte_identical_to_per_stratum(self):
+        strata = [
+            ("rspeed", 0.1, "no-ecc", "dl1", "isolation"),
+            ("rspeed", 0.1, "laec", "dl1", "isolation"),
+            ("rspeed", 0.1, "no-ecc", "l2", "isolation"),
+        ]
+        groups = sample_fault_groups(strata, 5, seed=2019)
+        assert list(groups) == [
+            replay_group_key("rspeed", 0.1),
+            replay_group_key("rspeed", 0.1, target="l2"),
+        ]
+        dl1_group = groups[replay_group_key("rspeed", 0.1)]
+        # Both DL1 policies share one group (one golden run serves both).
+        assert [policy for policy, _fault in dl1_group] == ["no-ecc"] * 5 + [
+            "laec"
+        ] * 5
+        assert [fault for policy, fault in dl1_group if policy == "no-ecc"] == (
+            sample_faults("rspeed", 0.1, "no-ecc", 5, seed=2019)
+        )
+
+
+# --------------------------------------------------------------------- #
+# the campaign engine in batched mode                                   #
+# --------------------------------------------------------------------- #
+BASE = dict(
+    kernels=("rspeed",),
+    policies=("no-ecc", "extra-cycle"),
+    scale=0.1,
+    trials=8,
+    batch=4,
+    seed=2019,
+    targets=("dl1", "l2"),
+    retry_backoff=0.0,
+)
+
+
+def config(**overrides) -> CampaignConfig:
+    merged = dict(BASE)
+    merged.update(overrides)
+    return CampaignConfig(**merged)
+
+
+class TestBatchedCampaign:
+    def test_batched_and_point_summaries_are_byte_identical(self):
+        batched = run_campaign(config(replay_mode="batched"))
+        point = run_campaign(config(replay_mode="point"))
+        assert batched.render() == point.render()
+
+    def test_mode_counters_sum_to_total_points(self):
+        result = run_campaign(config())
+        stats = result.stats
+        assert (
+            stats.analytical + stats.streamed + stats.full + stats.store_hits
+            == result.points
+        )
+        # The triage pass must actually eliminate work, and the no-ecc
+        # SDC points must actually stream through suffix-resume.
+        assert stats.analytical > 0
+        assert stats.streamed > 0
+        assert stats.store_hits == 0
+
+    def test_point_mode_counts_everything_as_full(self):
+        result = run_campaign(config(replay_mode="point"))
+        stats = result.stats
+        assert stats.analytical == stats.streamed == 0
+        assert stats.full == result.simulated == result.points
+
+    def test_warm_resume_counts_store_hits(self, tmp_path):
+        with ResultStore(tmp_path / "warm.sqlite") as store:
+            cold = run_campaign(config(), store=store, resume=True)
+            warm = run_campaign(config(), store=store, resume=True)
+        assert warm.simulated == 0
+        assert warm.stats.store_hits == warm.points == cold.points
+        assert (
+            warm.stats.analytical + warm.stats.streamed + warm.stats.full == 0
+        )
+        assert warm.render() == cold.render()
+
+    def test_invalid_replay_mode_is_rejected(self):
+        with pytest.raises(ValueError):
+            config(replay_mode="warp")
+
+
+class TestChaosUnderBatching:
+    def test_worker_kill_under_batching_matches_clean_run(self):
+        clean = run_campaign(config(workers=2))
+        crashed = run_campaign(
+            config(workers=2), chaos=parse_chaos("kill-worker@2")
+        )
+        assert crashed.render() == clean.render()
+        assert crashed.stats.worker_restarts >= 1
+        assert not crashed.quarantined
+        # Counters still account for every point.
+        stats = crashed.stats
+        assert (
+            stats.analytical + stats.streamed + stats.full + stats.store_hits
+            == crashed.points
+        )
+
+    def test_chaos_resume_is_byte_identical(self, tmp_path):
+        with ResultStore(tmp_path / "chaos.sqlite") as store:
+            crashed = run_campaign(
+                config(workers=2),
+                store=store,
+                resume=True,
+                chaos=parse_chaos("kill-worker@2"),
+            )
+            resumed = run_campaign(config(workers=2), store=store, resume=True)
+        assert resumed.simulated == 0
+        assert resumed.render() == crashed.render()
+
+    def test_transient_fail_is_retried_through_the_point_path(self):
+        clean = run_campaign(config())
+        chaotic = run_campaign(config(), chaos=parse_chaos("fail@2"))
+        assert chaotic.render() == clean.render()
+        assert chaotic.stats.retries == 1
+        # The chaos-targeted point executed via the per-point path.
+        assert chaotic.stats.full >= 1
+
+
+# --------------------------------------------------------------------- #
+# batched store lookups                                                 #
+# --------------------------------------------------------------------- #
+class TestGetMany:
+    def test_matches_per_key_get_including_accounting(self, tmp_path):
+        with ResultStore(tmp_path / "a.sqlite") as store:
+            for index in range(7):
+                store.put(f"k{index}", {"v": index})
+            keys = [f"k{index}" for index in range(10)]
+            batched = store.get_many(keys)
+            assert store.hits == 7
+            assert store.misses == 3
+        with ResultStore(tmp_path / "a.sqlite") as store:
+            scalar = {}
+            for key in keys:
+                payload = store.get(key)
+                if payload is not None:
+                    scalar[key] = payload
+            assert batched == scalar
+            assert store.hits == 7
+            assert store.misses == 3
+
+    def test_drops_corrupt_rows_like_get(self, tmp_path):
+        from repro.campaign import corrupt_store_row
+
+        path = tmp_path / "b.sqlite"
+        with ResultStore(path) as store:
+            for index in range(4):
+                store.put(f"k{index}", {"v": index})
+        corrupted = corrupt_store_row(path, 0)
+        with ResultStore(path) as store:
+            found = store.get_many([f"k{index}" for index in range(4)])
+            assert corrupted not in found
+            assert len(found) == 3
+            assert store.corrupt_dropped == 1
+            assert store.misses == 1
+            # The corrupt row was deleted, not just skipped: a re-read
+            # is a plain miss that a resume would re-simulate.
+            assert store.get(corrupted) is None

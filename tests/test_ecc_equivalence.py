@@ -86,6 +86,37 @@ class TestCodecEquivalence:
         # The reference classes inherit the generic batch implementation.
         assert ref.encode_many(words) == codewords
 
+    def test_batch_decode_multi_bit_identical(self, fast_cls, ref_cls):
+        """Randomized codeword arrays with 0–4 flips per word.
+
+        The batched replay backend triages SECDED-correctable flips
+        analytically and leans on ``decode_many`` for everything else,
+        so the batch path must agree with the scalar reference codec on
+        multi-bit (detect-but-uncorrectable, and for plain Hamming
+        miscorrected) patterns too — not just the single-flip campaign
+        common case.
+        """
+        fast, ref = fast_cls(), ref_cls()
+        rng = random.Random(77)
+        corrupted = []
+        for word in sample_words(fast.data_bits, count=40, seed=7):
+            codeword = ref.encode(word)
+            flips = rng.randrange(5)
+            for position in rng.sample(range(fast.total_bits), flips):
+                codeword ^= 1 << position
+            corrupted.append(codeword)
+        batch = fast.decode_many(corrupted)
+        assert batch == [ref.decode(c) for c in corrupted]
+        # The sample must actually exercise the uncorrectable branch:
+        # parity detects every odd-weight flip, SECDED every double.
+        # (Hamming is excluded — double errors usually miscorrect, which
+        # is exactly why the paper's caches don't use it.)
+        if fast_cls is not HammingSecCode:
+            from repro.ecc.codec import DecodeStatus
+
+            statuses = {result.status for result in batch}
+            assert DecodeStatus.DETECTED_UNCORRECTABLE in statuses
+
     def test_batch_apis_validate_range(self, fast_cls, ref_cls):
         fast = fast_cls()
         with pytest.raises(ValueError):
