@@ -10,12 +10,18 @@ diffed against the numbers recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import platform
+import time
 
 import pytest
 
 from repro.experiments.base import DEFAULT_CAMPAIGN_SCALE
 from repro.experiments.runner import ExperimentRunner
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 #: Scale applied to every kernel's iteration counts.  The default (0.4)
 #: keeps the full 16-kernel x 4-policy matrix under ~30 s while preserving
@@ -50,3 +56,40 @@ def save_artifact(artifact_dir):
         return path
 
     return _save
+
+
+def host_platform() -> dict:
+    """Host metadata stamped into every BENCH report, so cross-run
+    comparisons (BENCH_7 vs BENCH_6 floors etc.) can be sanity-checked
+    against the machine that produced the baseline."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+@pytest.fixture()
+def write_bench_report():
+    """The one ``BENCH_<n>.json`` writer all perf benchmarks share.
+
+    Every report has the same envelope — schema id, creation time, host
+    platform, the benchmark's config dict, and its measurement rows —
+    historically duplicated (modulo drift) in each ``test_bench_*``
+    module.
+    """
+
+    def _write(filename: str, *, schema: str, config: dict, rows: list) -> pathlib.Path:
+        report = {
+            "schema": schema,
+            "created_unix": time.time(),
+            "platform": host_platform(),
+            "config": dict(config),
+            "benchmarks": list(rows),
+        }
+        path = REPO_ROOT / filename
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        return path
+
+    return _write

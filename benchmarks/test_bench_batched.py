@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import json
 import pathlib
-import platform
 import time
 
 import pytest
@@ -74,7 +73,7 @@ def _timed(label, fn):
 
 
 @pytest.mark.perf
-def test_bench_batched_replay(tmp_path):
+def test_bench_batched_replay(tmp_path, write_bench_report):
     rows = []
 
     batched, row = _timed("sweep_cold", lambda: run_campaign(BATCHED))
@@ -150,15 +149,10 @@ def test_bench_batched_replay(tmp_path):
         }
     )
 
-    report = {
-        "schema": "repro-batched-replay-bench/1",
-        "created_unix": time.time(),
-        "platform": {
-            "python": platform.python_version(),
-            "implementation": platform.python_implementation(),
-            "machine": platform.machine(),
-        },
-        "config": {
+    write_bench_report(
+        "BENCH_7.json",
+        schema="repro-batched-replay-bench/1",
+        config={
             "kernels": list(BATCHED.kernels),
             "policies": list(BATCHED.policies),
             "targets": list(BATCHED.targets),
@@ -169,7 +163,5 @@ def test_bench_batched_replay(tmp_path):
             "seed": BATCHED.seed,
             "replay_mode": BATCHED.replay_mode,
         },
-        "benchmarks": rows,
-    }
-    out = REPO_ROOT / "BENCH_7.json"
-    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        rows=rows,
+    )

@@ -17,17 +17,12 @@ Marked ``perf`` so the default test run stays fast; run explicitly::
 
 from __future__ import annotations
 
-import json
-import pathlib
-import platform
 import time
 
 import pytest
 
 from repro.campaign import CampaignConfig, run_campaign
 from repro.store import ResultStore
-
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 CONFIG = CampaignConfig(
     kernels=("canrdr", "matrix"),
@@ -53,7 +48,7 @@ def _timed(label, fn):
 
 
 @pytest.mark.perf
-def test_bench_campaign_throughput(tmp_path):
+def test_bench_campaign_throughput(tmp_path, write_bench_report):
     rows = []
     rows.append(_timed("serial_cold", lambda: run_campaign(CONFIG)))
     sharded = CampaignConfig(
@@ -94,15 +89,10 @@ def test_bench_campaign_throughput(tmp_path):
     # Sharding must not change the sampled point count.
     assert by_name["sharded_cold"]["points"] == by_name["serial_cold"]["points"]
 
-    report = {
-        "schema": "repro-campaign-bench/1",
-        "created_unix": time.time(),
-        "platform": {
-            "python": platform.python_version(),
-            "implementation": platform.python_implementation(),
-            "machine": platform.machine(),
-        },
-        "config": {
+    write_bench_report(
+        "BENCH_3.json",
+        schema="repro-campaign-bench/1",
+        config={
             "kernels": list(CONFIG.kernels),
             "policies": list(CONFIG.policies),
             "scale": CONFIG.scale,
@@ -110,7 +100,5 @@ def test_bench_campaign_throughput(tmp_path):
             "batch": CONFIG.batch,
             "seed": CONFIG.seed,
         },
-        "benchmarks": rows,
-    }
-    out = REPO_ROOT / "BENCH_3.json"
-    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        rows=rows,
+    )

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import json
 import pathlib
-import platform
 import time
 
 import pytest
@@ -76,7 +75,7 @@ def _timed(label, fn):
 
 
 @pytest.mark.perf
-def test_bench_robustness_overhead(tmp_path):
+def test_bench_robustness_overhead(tmp_path, write_bench_report):
     rows = []
     rows.append(_timed("sweep_cold", lambda: run_campaign(CONFIG)))
 
@@ -209,15 +208,10 @@ def test_bench_robustness_overhead(tmp_path):
             f"throughput (floor {MIN_THROUGHPUT_VS_BENCH5}x)"
         )
 
-    report_out = {
-        "schema": "repro-robustness-bench/1",
-        "created_unix": time.time(),
-        "platform": {
-            "python": platform.python_version(),
-            "implementation": platform.python_implementation(),
-            "machine": platform.machine(),
-        },
-        "config": {
+    write_bench_report(
+        "BENCH_6.json",
+        schema="repro-robustness-bench/1",
+        config={
             "kernels": list(CONFIG.kernels),
             "policies": list(CONFIG.policies),
             "targets": list(CONFIG.targets),
@@ -230,7 +224,5 @@ def test_bench_robustness_overhead(tmp_path):
             "write_repeats": WRITE_REPEATS,
             "max_overhead_share": MAX_OVERHEAD_SHARE,
         },
-        "benchmarks": rows,
-    }
-    out = REPO_ROOT / "BENCH_6.json"
-    out.write_text(json.dumps(report_out, indent=2) + "\n", encoding="utf-8")
+        rows=rows,
+    )

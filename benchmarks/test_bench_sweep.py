@@ -20,9 +20,6 @@ Marked ``perf`` so the default test run stays fast; run explicitly::
 
 from __future__ import annotations
 
-import json
-import pathlib
-import platform
 import time
 
 import pytest
@@ -36,8 +33,6 @@ from repro.campaign import (
     sample_faults,
 )
 from repro.store import ResultStore
-
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 CONFIG = CampaignConfig(
     kernels=("canrdr", "matrix"),
@@ -70,7 +65,7 @@ def _timed(label, fn):
 
 
 @pytest.mark.perf
-def test_bench_sweep_throughput(tmp_path):
+def test_bench_sweep_throughput(tmp_path, write_bench_report):
     rows = []
     rows.append(_timed("sweep_cold", lambda: run_campaign(CONFIG)))
 
@@ -130,15 +125,10 @@ def test_bench_sweep_throughput(tmp_path):
     # The grid is the full cartesian product.
     assert by_name["sweep_cold"]["strata"] == 2 * 2 * 2 * 2
 
-    report = {
-        "schema": "repro-sweep-bench/1",
-        "created_unix": time.time(),
-        "platform": {
-            "python": platform.python_version(),
-            "implementation": platform.python_implementation(),
-            "machine": platform.machine(),
-        },
-        "config": {
+    write_bench_report(
+        "BENCH_5.json",
+        schema="repro-sweep-bench/1",
+        config={
             "kernels": list(CONFIG.kernels),
             "policies": list(CONFIG.policies),
             "targets": list(CONFIG.targets),
@@ -150,7 +140,5 @@ def test_bench_sweep_throughput(tmp_path):
             "sampler_points": SAMPLER_POINTS,
             "sampler_batch": SAMPLER_BATCH,
         },
-        "benchmarks": rows,
-    }
-    out = REPO_ROOT / "BENCH_5.json"
-    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        rows=rows,
+    )

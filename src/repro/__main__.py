@@ -25,11 +25,20 @@ Result stores can be checked and healed in place::
 
     python -m repro store campaign.sqlite --verify   # checksum scan
     python -m repro store campaign.sqlite --repair   # drop corrupt rows
+
+Campaigns can record structured telemetry, queryable afterwards::
+
+    python -m repro campaign ... --trace run.trace \
+        --progress-interval 10               # JSONL spans + heartbeat
+    python -m repro trace run.trace              # summary + slowest groups
+    python -m repro trace run.trace --timeline   # failure timeline
+    python -m repro trace run.trace --metrics    # Prometheus-style export
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
@@ -314,6 +323,29 @@ def _build_campaign_parser() -> argparse.ArgumentParser:
         help="how long a chaos timeout@ point hangs (default: 3600)",
     )
     parser.add_argument(
+        "--trace",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "record structured JSONL telemetry (spans campaign -> batch "
+            "-> point, supervisor events, final metrics) to PATH; "
+            "inspect it with 'python -m repro trace PATH'. Tracing never "
+            "changes summaries or store payloads"
+        ),
+    )
+    parser.add_argument(
+        "--progress-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "emit a live progress line (points/s, ETA, supervisor "
+            "counters) to stderr at batch boundaries, at most every "
+            "SECONDS seconds (0 = every batch)"
+        ),
+    )
+    parser.add_argument(
         "--out",
         type=pathlib.Path,
         default=None,
@@ -335,9 +367,14 @@ def _run_campaign_command(argv: List[str]) -> int:
         run_campaign,
     )
     from repro.store import ResultStore
+    from repro.telemetry import flight
+    from repro.telemetry.console import format_flight_tail, format_stats_line, get_console
+    from repro.telemetry.trace import Telemetry
     from repro.workloads import KERNEL_NAMES
 
     args = _build_campaign_parser().parse_args(argv)
+    console = get_console()
+    console.quiet = args.quiet
     kernels_arg = args.kernels.strip().lower()
     kernels = (
         tuple(KERNEL_NAMES)
@@ -382,29 +419,54 @@ def _run_campaign_command(argv: List[str]) -> int:
             if args.chaos is not None
             else None
         )
+        telemetry = (
+            Telemetry(
+                args.trace,
+                progress_interval=args.progress_interval,
+                config={
+                    "kernels": ",".join(kernels),
+                    "policies": ",".join(policies),
+                    "targets": ",".join(targets),
+                    "scenarios": ",".join(scenarios),
+                    "trials": args.trials,
+                    "seed": args.seed,
+                    "replay_mode": args.replay_mode,
+                },
+            )
+            if args.trace is not None or args.progress_interval is not None
+            else None
+        )
     except ValueError as error:
-        print(error, file=sys.stderr)
+        console.error(str(error))
         return 2
     if args.resume and args.store is None:
-        print("--resume needs --store PATH", file=sys.stderr)
+        console.error("--resume needs --store PATH")
         return 2
 
     store = None
     started = time.perf_counter()
     try:
         store = ResultStore(args.store) if args.store is not None else None
-        result = run_campaign(config, store=store, resume=args.resume, chaos=chaos)
+        result = run_campaign(
+            config,
+            store=store,
+            resume=args.resume,
+            chaos=chaos,
+            telemetry=telemetry,
+        )
     except CampaignInterrupted as error:
-        print(f"[campaign] error: {error}", file=sys.stderr)
+        console.error(f"[campaign] error: {error}")
+        console.error(format_flight_tail(flight.recorder().tail()))
         return 3
     except CampaignError as error:
-        print(f"[campaign] error: {error}", file=sys.stderr)
+        console.error(f"[campaign] error: {error}")
+        console.error(format_flight_tail(flight.recorder().tail()))
         return 1
     except Exception as error:  # noqa: BLE001 - structured exit, no traceback
-        print(
-            f"[campaign] error: internal: {type(error).__name__}: {error}",
-            file=sys.stderr,
+        console.error(
+            f"[campaign] error: internal: {type(error).__name__}: {error}"
         )
+        console.error(format_flight_tail(flight.recorder().tail()))
         return 1
     finally:
         if store is not None:
@@ -412,26 +474,96 @@ def _run_campaign_command(argv: List[str]) -> int:
     elapsed = time.perf_counter() - started
 
     text = result.render()
-    if not args.quiet:
-        print(text)
+    console.output(text)
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(text + "\n", encoding="utf-8")
-    rate = result.points / elapsed if elapsed > 0 else 0.0
-    print(
-        f"[campaign] strata={len(result.strata)} points={result.points} "
-        f"simulated={result.simulated} store-hits={result.store_hits} "
-        f"store-misses={result.store_misses} "
-        f"analytical={result.stats.analytical} "
-        f"streamed={result.stats.streamed} "
-        f"full={result.stats.full} "
-        f"store_hits={result.stats.store_hits} "
-        f"quarantined={result.quarantined_points} "
-        f"retries={result.stats.retries} "
-        f"pool-restarts={result.stats.worker_restarts} in {elapsed:.1f}s "
-        f"({rate:.1f} points/s)",
-        file=sys.stderr,
+    console.status(format_stats_line(result, elapsed))
+    return 0
+
+
+def _build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Inspect a campaign trace recorded with --trace: summary, "
+            "slowest batch groups, failure timeline, Prometheus-style "
+            "metrics export, schema validation."
+        ),
     )
+    parser.add_argument("path", type=pathlib.Path, help="the JSONL trace file")
+    parser.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        metavar="N",
+        help="how many slowest batch groups to show (default: 5)",
+    )
+    parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print the failure timeline (supervisor events in time order)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the final metrics snapshot as Prometheus text",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate every record against the trace schema; exit 1 on errors",
+    )
+    return parser
+
+
+def _run_trace_command(argv: List[str]) -> int:
+    try:
+        return _trace_command(argv)
+    except BrokenPipeError:
+        # `repro trace ... | head` / `| grep -q` closes stdout early;
+        # that is a normal way to consume a report, not an error.  Point
+        # stdout at devnull so the interpreter's shutdown flush doesn't
+        # raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _trace_command(argv: List[str]) -> int:
+    from repro.telemetry.analyze import TraceFile
+
+    args = _build_trace_parser().parse_args(argv)
+    if not args.path.exists():
+        print(f"no trace at {args.path}", file=sys.stderr)
+        return 2
+    try:
+        trace = TraceFile(args.path)
+    except Exception as error:  # noqa: BLE001 - structured exit, no traceback
+        print(f"[trace] error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 1
+    if args.validate:
+        problems = trace.validate()
+        if problems:
+            for problem in problems:
+                print(f"[trace] {problem}", file=sys.stderr)
+            print(f"[trace] {len(problems)} schema problem(s)", file=sys.stderr)
+            return 1
+        print(f"[trace] {len(trace.records)} record(s), schema OK")
+        return 0
+    if args.metrics:
+        print(trace.metrics_text())
+        return 0
+    if args.timeline:
+        print(trace.render_timeline())
+        return 0
+    print(trace.summary())
+    print()
+    print(trace.render_slowest(args.slowest))
+    timeline = trace.failure_timeline()
+    if timeline or trace.flights:
+        print()
+        print(trace.render_timeline())
     return 0
 
 
@@ -542,6 +674,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_campaign_command(argv[1:])
     if argv and argv[0] == "store":
         return _run_store_command(argv[1:])
+    if argv and argv[0] == "trace":
+        return _run_trace_command(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 

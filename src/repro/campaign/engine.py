@@ -64,6 +64,10 @@ from repro.core.policies import make_policy
 from repro.ecc.codec import EccCode
 from repro.ecc.reliability import ReliabilityModel
 from repro.scenarios.spec import FAULT_TARGETS, SimulationSpec
+from repro.telemetry import flight as _flight
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+from repro.telemetry.console import format_heartbeat, format_quarantine_footer, get_console
 
 #: The four DL1 deployments compared in Figure 8, in paper order.
 FIGURE8_POLICY_VALUES = ("no-ecc", "extra-cycle", "extra-stage", "laec")
@@ -372,16 +376,7 @@ class CampaignResult:
             )
         text = table.render(float_format="{:.1f}") + "\n" + note
         if self.quarantined:
-            lines = [
-                "",
-                f"Quarantined: {len(self.quarantined)} point(s) failed every "
-                "attempt and are excluded",
-                "from the table above (a --resume after repair re-simulates "
-                "them):",
-            ]
-            for point in sorted(self.quarantined, key=lambda p: p.index):
-                lines.append(f"  - {point.describe()}")
-            text += "\n".join(lines)
+            text += format_quarantine_footer(self.quarantined)
         return text
 
 
@@ -402,28 +397,53 @@ def _simulate_point_supervised(
     The directive travels pickled with the job (no shared state in the
     pool workers); it runs *before* the real replay, so a chaos-killed
     worker dies exactly where a segfault would.
+
+    Returns a job envelope ``{"payload", "pid", "phases"}``: the store
+    payload itself is exactly what replay produced; the worker pid and
+    its drained phase-timing snapshot ride alongside for telemetry only.
+    A failing point leaves with this process's flight-recorder tail
+    attached to the taxonomy error, so a quarantine records the last
+    things the worker actually did.
     """
-    if directive is not None:
-        from repro.campaign.chaos import apply_worker_directive
+    _flight.record("point-start", kernel=spec.kernel, policy=spec.policy)
+    try:
+        if directive is not None:
+            from repro.campaign.chaos import apply_worker_directive
 
-        apply_worker_directive(directive, hang_seconds)
-    return run_injection(spec).payload()
+            apply_worker_directive(directive, hang_seconds)
+        payload = run_injection(spec).payload()
+    except Exception as error:  # noqa: BLE001 - taxonomy boundary
+        wrapped = wrap_point_error(error)
+        wrapped.details.setdefault("flight_recorder", _flight.tail_payload())
+        raise wrapped from error
+    return {
+        "payload": payload,
+        "pid": os.getpid(),
+        "phases": _metrics.drain_phase_payload(),
+    }
 
 
-def _simulate_batch(
-    specs: Sequence[SimulationSpec],
-) -> List[Tuple[Dict[str, object], str]]:
+def _simulate_batch(specs: Sequence[SimulationSpec]) -> Dict[str, object]:
     """Worker-side job: one whole batch through the shared-golden path.
 
-    Returns ``(payload, replay_mode)`` per spec, in input order; the
-    mode string feeds the ``analytical=/streamed=/full=`` counters.
+    Returns an envelope ``{"results", "pid", "phases"}``; ``results`` is
+    ``(payload, replay_mode)`` per spec, in input order — the mode
+    string feeds the ``analytical=/streamed=/full=`` counters — and the
+    drained phase snapshot carries this job's golden/triage/residue
+    timings back to the campaign process.
     """
     from repro.campaign.replay import run_injection_batch
 
-    return [
+    _flight.record("batch-start", points=len(specs))
+    results = [
         (result.payload(), result.replay_mode)
         for result in run_injection_batch(list(specs))
     ]
+    return {
+        "results": results,
+        "pid": os.getpid(),
+        "phases": _metrics.drain_phase_payload(),
+    }
 
 
 class _SignalGuard:
@@ -509,6 +529,9 @@ class _PointSupervisor:
         self._executor: Optional[ProcessPoolExecutor] = None
         self._isolating = False
         self.next_index = 0
+        #: global index -> pid of the process that computed the point
+        #: (telemetry only; the campaign process itself when serial).
+        self.worker_pids: Dict[int, int] = {}
 
     # -- pool lifecycle ------------------------------------------------- #
     def _pool(self) -> ProcessPoolExecutor:
@@ -529,11 +552,20 @@ class _PointSupervisor:
                 self._executor = ProcessPoolExecutor(max_workers=self._width)
         return self._executor
 
+    def _collect(self, index: int, job: Dict[str, object], payloads) -> None:
+        """Unpack one point-job envelope (payload + telemetry sidecar)."""
+        payloads[index] = job["payload"]
+        self.worker_pids[index] = job["pid"]
+        _metrics.merge_phase_payload(job["phases"])
+
     def _kill_pool(self) -> None:
         executor, self._executor = self._executor, None
         if executor is None:
             return
         self.stats.worker_restarts += 1
+        _metrics.inc("campaign_pool_restarts_total")
+        _flight.record("pool-restart")
+        _trace.event("pool-restart")
         # Hung or dead workers never drain their queue: cancel what we
         # can, then terminate the worker processes outright (the private
         # map is the only handle ProcessPoolExecutor exposes).
@@ -589,13 +621,50 @@ class _PointSupervisor:
                 self.stats.record(error)
                 error.details.setdefault("point_index", index)
                 error.details["attempts"] = attempts[index]
+                _metrics.inc(
+                    "campaign_point_failures_total", labels={"error": error.kind}
+                )
+                _flight.record(
+                    "point-failure",
+                    index=index,
+                    error=error.kind,
+                    attempt=attempts[index],
+                )
+                _trace.event(
+                    "point-failure",
+                    index=index,
+                    error=error.kind,
+                    attempt=attempts[index],
+                )
                 if attempts[index] > self.config.max_retries:
                     if not self.config.quarantine:
                         raise error
                     self.stats.quarantined += 1
+                    _metrics.inc("campaign_points_quarantined_total")
+                    # The worker's own tail travels in the error when the
+                    # worker lived to attach it; a killed or hung worker
+                    # leaves the supervisor's view as the next-best tail.
+                    error.details.setdefault(
+                        "flight_recorder", _flight.tail_payload()
+                    )
+                    _flight.record("quarantine", index=index, error=error.kind)
+                    _trace.event(
+                        "quarantine",
+                        index=index,
+                        error=error.kind,
+                        attempts=attempts[index],
+                    )
                     quarantined[index] = (error, attempts[index])
                 else:
                     self.stats.retries += 1
+                    _metrics.inc("campaign_retries_total")
+                    _flight.record("retry", index=index, attempt=attempts[index])
+                    _trace.event(
+                        "retry",
+                        index=index,
+                        attempt=attempts[index],
+                        error=error.kind,
+                    )
                     if self.config.retry_backoff > 0:
                         time.sleep(
                             self.config.retry_backoff
@@ -642,13 +711,18 @@ class _PointSupervisor:
         payloads: Dict[int, Dict[str, object]] = {}
         modes: Dict[int, str] = {}
         if group_jobs:
+            _flight.record("dispatch-group", points=len(group_jobs))
             batch = self._run_group([spec for _index, spec in group_jobs])
             if batch is None:
                 point_jobs = point_jobs + group_jobs
             else:
-                for (index, _spec), (payload, mode) in zip(group_jobs, batch):
+                _metrics.merge_phase_payload(batch["phases"])
+                for (index, _spec), (payload, mode) in zip(
+                    group_jobs, batch["results"]
+                ):
                     payloads[index] = payload
                     modes[index] = mode
+                    self.worker_pids[index] = batch["pid"]
         quarantined: Dict[int, Tuple[CampaignError, int]] = {}
         if point_jobs:
             point_payloads, quarantined = self.run_batch(sorted(point_jobs))
@@ -705,7 +779,7 @@ class _PointSupervisor:
             self._chaos_supervisor_step(index)
             directive = self._chaos_worker_directive(index, inline=True)
             try:
-                payloads[index] = _simulate_point_supervised(spec, directive)
+                self._collect(index, _simulate_point_supervised(spec, directive), payloads)
             except Exception as error:  # noqa: BLE001 - taxonomy boundary
                 failed.append((index, spec, wrap_point_error(error, point_index=index)))
         return []
@@ -749,12 +823,16 @@ class _PointSupervisor:
                     and not future.cancelled()
                     and future.exception() is None
                 ):
-                    payloads[index] = future.result()
+                    self._collect(index, future.result(), payloads)
                 else:
                     survivors.append((index, spec))
                 continue
             try:
-                payloads[index] = future.result(timeout=self.config.point_timeout)
+                self._collect(
+                    index,
+                    future.result(timeout=self.config.point_timeout),
+                    payloads,
+                )
             except FuturesTimeoutError:
                 failed.append(
                     (
@@ -829,12 +907,45 @@ def analytical_reference(
     return reference
 
 
+class _Heartbeat:
+    """Emits the live progress line at batch boundaries.
+
+    ``interval`` is seconds between beats (0 = every batch, None =
+    silent); beats go through the process console's status stream, so
+    they never touch the deterministic summary on stdout.
+    """
+
+    def __init__(self, interval: Optional[float], expected: int) -> None:
+        self.interval = interval
+        self.expected = expected
+        self._started = time.monotonic()
+        self._last = self._started
+
+    def maybe_beat(self, result: "CampaignResult") -> None:
+        if self.interval is None:
+            return
+        now = time.monotonic()
+        if self.interval > 0 and now - self._last < self.interval:
+            return
+        self._last = now
+        get_console().status(
+            format_heartbeat(
+                done=result.simulated + result.store_hits,
+                expected=self.expected,
+                elapsed=now - self._started,
+                stats=result.stats,
+                quarantined=result.quarantined_points,
+            )
+        )
+
+
 def run_campaign(
     config: CampaignConfig,
     *,
     store=None,
     resume: bool = False,
     chaos=None,
+    telemetry=None,
 ) -> CampaignResult:
     """Run (or resume) one stratified architectural campaign.
 
@@ -846,9 +957,34 @@ def run_campaign(
 
     ``chaos`` is an optional :class:`~repro.campaign.chaos.ChaosPlan`
     injecting deterministic harness faults (tests / CI only).
+
+    ``telemetry`` is an optional
+    :class:`~repro.telemetry.trace.Telemetry` session (``--trace`` /
+    ``--progress-interval``).  Telemetry is deterministically inert:
+    the returned result, its rendered summary and every store payload
+    are byte-identical with or without it.
     """
     result = CampaignResult(config=config)
+    # Metrics and the flight recorder restart with the campaign, so the
+    # final metrics snapshot describes *this* run and quarantine-payload
+    # sequence numbers are per-campaign deterministic.
+    _metrics.reset_registry()
+    _flight.recorder().clear()
+    session = _trace.activate(telemetry) if telemetry is not None else None
+    heartbeat = _Heartbeat(
+        telemetry.progress_interval if telemetry is not None else None,
+        expected=config.trials * sum(1 for _ in config.strata()),
+    )
     supervisor = _PointSupervisor(config, chaos, result.stats)
+    campaign_span = _trace.begin_span(
+        "campaign",
+        kernels=",".join(config.kernels),
+        policies=",".join(config.policies),
+        trials=config.trials,
+        replay_mode=config.replay_mode,
+        workers=config.workers if config.workers is not None else 0,
+    )
+    status = "completed"
     try:
         with _SignalGuard() as guard:
             for kernel, policy_value, target, scenario, scale in config.strata():
@@ -864,10 +1000,32 @@ def run_campaign(
                     supervisor=supervisor,
                     guard=guard,
                     result=result,
+                    heartbeat=heartbeat,
+                    campaign_span=campaign_span,
                 )
                 result.strata.append(stratum)
+    except CampaignInterrupted as error:
+        status = "interrupted"
+        _trace.event("interrupt", signal=error.details.get("signal"))
+        _trace.emit_flight("interrupt", _flight.recorder().tail())
+        raise
+    except BaseException as error:
+        status = "error"
+        _trace.event("campaign-error", error=type(error).__name__)
+        _trace.emit_flight("crash", _flight.recorder().tail())
+        raise
     finally:
         supervisor.close()
+        _trace.emit_metrics(_metrics.registry().to_payload())
+        _trace.end_span(
+            campaign_span,
+            status=status,
+            points=result.points,
+            simulated=result.simulated,
+            quarantined=result.quarantined_points,
+        )
+        if session is not None:
+            _trace.deactivate()
     return result
 
 
@@ -884,26 +1042,30 @@ def _run_stratum(
     supervisor: _PointSupervisor,
     guard: _SignalGuard,
     result: CampaignResult,
+    heartbeat: Optional[_Heartbeat] = None,
+    campaign_span: int = 0,
 ) -> StratumSummary:
     from repro.store import canonical_json, spec_hash
 
     interference = config.scenario_interference(scenario)
+    stratum_label = f"{kernel}/{policy_value}/{target}/{scenario}/{scale:g}"
     counts: Dict[str, int] = {key: 0 for key in OUTCOME_KEYS}
     done = 0
     stratum_quarantined = 0
     early = False
     while done < config.trials and not early:
         batch_size = min(config.batch, config.trials - done)
-        faults = sample_faults(
-            kernel,
-            scale,
-            policy_value,
-            batch_size,
-            seed=config.seed,
-            start=done,
-            target=target,
-            scenario=scenario,
-        )
+        with _metrics.phase_timer("sampling"):
+            faults = sample_faults(
+                kernel,
+                scale,
+                policy_value,
+                batch_size,
+                seed=config.seed,
+                start=done,
+                target=target,
+                scenario=scenario,
+            )
         if not faults:
             break
         specs = [
@@ -918,8 +1080,18 @@ def _run_stratum(
         ]
         keys = [spec_hash(spec) for spec in specs]
         indices = supervisor.assign_indices(len(specs))
+        _metrics.inc("campaign_batches_total")
+        _metrics.inc("campaign_points_total", len(specs))
+        batch_span = _trace.begin_span(
+            "batch",
+            parent=campaign_span,
+            stratum=stratum_label,
+            points=len(specs),
+            start=done,
+        )
         payloads: List[Optional[Dict[str, object]]] = [None] * len(specs)
         to_run: List[int] = []
+        batch_hits = 0
         lookup = store is not None and resume
         # One SELECT resolves the whole batch's store hits up front —
         # warm resumes never enter the supervisor loop per hit (the
@@ -931,25 +1103,48 @@ def _run_stratum(
                 payloads[slot] = stored
                 result.store_hits += 1
                 result.stats.store_hits += 1
+                batch_hits += 1
+                _metrics.inc("campaign_store_hits_total")
             else:
                 if lookup:
                     result.store_misses += 1
+                    _metrics.inc("campaign_store_misses_total")
                 to_run.append(slot)
         quarantined_slots: List[int] = []
         rows: List[Tuple[str, Dict[str, object], str]] = []
         if to_run:
             jobs = [(indices[slot], specs[slot]) for slot in to_run]
+            run_started = _trace.now()
             if config.replay_mode == "batched":
                 computed, poisoned, modes = supervisor.run_batch_grouped(jobs)
             else:
                 computed, poisoned = supervisor.run_batch(jobs)
                 modes = {}
+            run_ended = _trace.now()
             for slot in to_run:
                 index = indices[slot]
                 if index in computed:
                     payloads[slot] = computed[index]
                     result.simulated += 1
-                    result.stats.record_mode(modes.get(index, "full"))
+                    mode = modes.get(index, "full")
+                    result.stats.record_mode(mode)
+                    _metrics.inc("campaign_points_simulated_total")
+                    _metrics.inc(
+                        "campaign_replay_points_total", labels={"mode": mode}
+                    )
+                    # Per-point spans share the batch-job window: points
+                    # inside one group job are not individually timed
+                    # (timing them would perturb the hot path).
+                    _trace.emit_span(
+                        "point",
+                        parent=batch_span,
+                        t_start=run_started,
+                        t_end=run_ended,
+                        worker=supervisor.worker_pids.get(index),
+                        index=index,
+                        mode=mode,
+                        outcome=str(computed[index]["outcome"]),
+                    )
                     if store is not None:
                         rows.append(
                             (keys[slot], computed[index], canonical_json(specs[slot]))
@@ -971,20 +1166,30 @@ def _run_stratum(
                     )
                     result.quarantined.append(point)
                     if store is not None:
-                        store.quarantine_put(
-                            point.key, point.error, spec_json=point.spec_json
-                        )
+                        with _metrics.phase_timer("store_write"):
+                            store.quarantine_put(
+                                point.key, point.error, spec_json=point.spec_json
+                            )
         for slot, payload in enumerate(payloads):
             if payload is not None:
                 counts[str(payload["outcome"])] += 1
         stratum_quarantined += len(quarantined_slots)
         done += len(faults)
         if rows:
-            store.put_many(rows, kind="injection")
+            with _metrics.phase_timer("store_write"):
+                store.put_many(rows, kind="injection")
+        _trace.end_span(
+            batch_span,
+            hits=batch_hits,
+            simulated=len(to_run) - len(quarantined_slots),
+            quarantined=len(quarantined_slots),
+        )
         # The batch is flushed: this is the checkpoint boundary where a
         # graceful interrupt may stop the campaign (resume is byte-exact
         # from here).
         guard.check(result)
+        if heartbeat is not None:
+            heartbeat.maybe_beat(result)
         completed = done - stratum_quarantined
         if config.ci_target is not None and done >= config.batch and completed:
             half_sdc = wilson_half_width(counts["sdc"], completed, z=config.ci_z)

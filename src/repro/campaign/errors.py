@@ -48,8 +48,19 @@ class CampaignError(Exception):
             "details": dict(self.details),
         }
 
+    def __reduce__(self):
+        # Default Exception pickling rebuilds from ``args`` alone, which
+        # would drop ``details`` on the worker -> supervisor hop (and
+        # with it the worker's flight-recorder tail).
+        return (_rebuild_campaign_error, (type(self), self.message, self.details))
+
     def __str__(self) -> str:
         return f"{self.kind}: {self.message}"
+
+
+def _rebuild_campaign_error(cls, message: str, details: Dict[str, object]):
+    """Unpickle helper: restore a taxonomy error with its details."""
+    return cls(message, **details)
 
 
 class PointTimeout(CampaignError):

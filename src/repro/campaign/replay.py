@@ -51,6 +51,7 @@ execution-time deviation).
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -68,6 +69,7 @@ from repro.isa.program import Program
 from repro.memory.cache import SetAssociativeCache
 from repro.memory.config import MemoryHierarchyConfig, WritePolicy
 from repro.scenarios.spec import FaultSpec, SimulationSpec
+from repro.telemetry.metrics import observe_phase, phase_timer
 
 
 class RawWordCode(EccCode):
@@ -410,8 +412,9 @@ def _golden_final_memory(
         cached = lru_get(_GOLDEN_MEMORY_CACHE, key)
         if cached is not None:
             return cached
-    simulator = FunctionalSimulator(program, max_instructions=max_instructions)
-    simulator.run()
+    with phase_timer("golden"):
+        simulator = FunctionalSimulator(program, max_instructions=max_instructions)
+        simulator.run()
     if key is not None:
         lru_put(_GOLDEN_MEMORY_CACHE, key, simulator.memory, _GOLDEN_MEMORY_CACHE_MAX)
     return simulator.memory
@@ -689,7 +692,8 @@ def lean_golden_for_kernel(kernel: str, scale: float) -> "GoldenRun":
     if cached is None:
         from repro.workloads import build_kernel
 
-        cached = golden_pass(build_kernel(kernel, scale=scale))
+        with phase_timer("golden"):
+            cached = golden_pass(build_kernel(kernel, scale=scale))
         lru_put(_LEAN_GOLDEN_CACHE, key, cached, _LEAN_GOLDEN_CACHE_MAX)
     return cached
 
@@ -835,6 +839,7 @@ def run_injection_batch(
         else:
             golden = lean_golden_for_kernel(kernel, scale)
         golden_len = golden.instructions
+        triage_started = time.perf_counter()
 
         # Pass 1: resolve each point's geometry/code, collect the words
         # every timeline walk must watch.
@@ -902,6 +907,7 @@ def run_injection_batch(
             ]
             for i, decoded in zip(code_indices, code.decode_many(flipped)):
                 decode_results[i] = decoded
+        observe_phase("triage", time.perf_counter() - triage_started)
 
         # Pass 3: triage; execute only the residue.
         for context in contexts:
@@ -922,7 +928,8 @@ def run_injection_batch(
             if verdict is None:
                 fallback.append(index)
             elif isinstance(verdict, _triage.ResiduePlan):
-                results[index] = _run_residue(spec, golden, geometry, verdict)
+                with phase_timer("residue"):
+                    results[index] = _run_residue(spec, golden, geometry, verdict)
             else:
                 results[index] = _analytic_result(spec, verdict, golden_len)
 

@@ -39,6 +39,7 @@ the store defends itself:
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import pathlib
@@ -46,6 +47,8 @@ import sqlite3
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.telemetry import metrics as _metrics
 
 #: Version of the *file layout* (tables/columns), independent of the
 #: canonical spec-encoding version (``repro.store.canonical``).  v1 had
@@ -104,6 +107,7 @@ def with_lock_retry(
         except sqlite3.OperationalError as error:
             if not _is_locked_error(error) or attempt >= retries:
                 raise
+            _metrics.inc("store_lock_retries_total")
             sleep(base_delay * (2 ** attempt))
             attempt += 1
 
@@ -222,6 +226,26 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # core mapping interface                                             #
     # ------------------------------------------------------------------ #
+    @contextlib.contextmanager
+    def _published_lookup(self):
+        """Publish one lookup's latency and hit/miss deltas as metrics."""
+        hits, misses = self.hits, self.misses
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            _metrics.observe("store_lookup_seconds", time.perf_counter() - started)
+            gained_hits = self.hits - hits
+            gained_misses = self.misses - misses
+            if gained_hits:
+                _metrics.inc(
+                    "store_lookups_total", gained_hits, labels={"result": "hit"}
+                )
+            if gained_misses:
+                _metrics.inc(
+                    "store_lookups_total", gained_misses, labels={"result": "miss"}
+                )
+
     def get(self, key: str) -> Optional[Dict[str, object]]:
         """The stored payload for ``key``, or None (counted as hit/miss).
 
@@ -231,6 +255,10 @@ class ResultStore:
         instead of trusting torn data.  Legacy (pre-checksum) rows are
         still JSON-validated.
         """
+        with self._published_lookup():
+            return self._get(key)
+
+    def _get(self, key: str) -> Optional[Dict[str, object]]:
         row = self._connection.execute(
             "SELECT payload, checksum FROM results WHERE key = ?", (key,)
         ).fetchone()
@@ -261,6 +289,10 @@ class ResultStore:
         resume path resolves a whole stratum's store hits up front with
         this before entering the supervisor loop.
         """
+        with self._published_lookup():
+            return self._get_many(keys)
+
+    def _get_many(self, keys: List[str]) -> Dict[str, Dict[str, object]]:
         found: Dict[str, Dict[str, object]] = {}
         if not keys:
             return found
@@ -297,6 +329,14 @@ class ResultStore:
             found[key] = payload
         return found
 
+    def _timed_write(self, write: Callable[[], object]) -> None:
+        """Run a write under lock-retry, publishing its latency."""
+        started = time.perf_counter()
+        try:
+            with_lock_retry(write)
+        finally:
+            _metrics.observe("store_write_seconds", time.perf_counter() - started)
+
     def _drop_corrupt(self, key: str) -> None:
         with_lock_retry(
             lambda: (
@@ -307,6 +347,7 @@ class ResultStore:
             )
         )
         self.corrupt_dropped += 1
+        _metrics.inc("store_corrupt_dropped_total")
 
     def put(
         self,
@@ -327,7 +368,7 @@ class ResultStore:
             )
             self._connection.commit()
 
-        with_lock_retry(write)
+        self._timed_write(write)
 
     def put_many(
         self,
@@ -359,7 +400,7 @@ class ResultStore:
             )
             self._connection.commit()
 
-        with_lock_retry(write)
+        self._timed_write(write)
 
     def spec_json(self, key: str) -> Optional[str]:
         """The canonical spec recorded with ``key`` (provenance)."""
@@ -479,7 +520,7 @@ class ResultStore:
             )
             self._connection.commit()
 
-        with_lock_retry(write)
+        self._timed_write(write)
 
     def quarantine_get(self, key: str) -> Optional[Dict[str, object]]:
         row = self._connection.execute(

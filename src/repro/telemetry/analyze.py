@@ -1,0 +1,207 @@
+"""Query layer over recorded trace files (``python -m repro trace``).
+
+Modeled on the cohort-query idiom (a class that turns questions into
+scans over recorded data): :class:`TraceFile` loads one JSONL trace and
+answers the questions a post-mortem actually asks — where did the time
+go (:meth:`slowest_groups`), what went wrong and in what order
+(:meth:`failure_timeline`), what do the final counters say
+(:meth:`metrics_text`), is the file well-formed (:meth:`validate`) —
+instead of leaving the user to grep span soup.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.metrics import render_prometheus
+from repro.telemetry.schema import validate_record
+
+#: Event names that belong on a failure timeline.
+FAILURE_EVENTS = (
+    "point-failure",
+    "retry",
+    "quarantine",
+    "pool-restart",
+    "store-corrupt",
+    "interrupt",
+    "campaign-error",
+)
+
+
+class TraceFile:
+    """One loaded trace: indexed records plus the questions over them."""
+
+    def __init__(self, path: Union[str, "object"]) -> None:
+        self.path = str(path)
+        self.records: List[Dict[str, object]] = []
+        self.parse_errors: List[str] = []
+        self.meta: Optional[Dict[str, object]] = None
+        self.spans: List[Dict[str, object]] = []
+        self.events: List[Dict[str, object]] = []
+        self.metrics: Optional[List[Dict[str, object]]] = None
+        self.flights: List[Dict[str, object]] = []
+        self._load()
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as stream:
+            for number, line in enumerate(stream, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    self.parse_errors.append(f"line {number}: invalid JSON ({exc})")
+                    continue
+                record["_line"] = number
+                self.records.append(record)
+                kind = record.get("event")
+                if kind == "meta" and self.meta is None:
+                    self.meta = record
+                elif kind == "span":
+                    self.spans.append(record)
+                elif kind == "event":
+                    self.events.append(record)
+                elif kind == "metrics":
+                    self.metrics = record.get("metrics")  # type: ignore[assignment]
+                elif kind == "flight":
+                    self.flights.append(record)
+
+    # ------------------------------------------------------------------ #
+    # questions                                                          #
+    # ------------------------------------------------------------------ #
+    def spans_named(self, name: str) -> List[Dict[str, object]]:
+        return [span for span in self.spans if span.get("name") == name]
+
+    @staticmethod
+    def _duration(span: Dict[str, object]) -> float:
+        return float(span.get("t_end", 0.0)) - float(span.get("t_start", 0.0))
+
+    def summary(self) -> str:
+        """The trace at a glance: campaign window, span/event counts,
+        failure counts, workers seen."""
+        lines = [f"trace: {self.path}"]
+        if self.meta is not None:
+            config = self.meta.get("config") or {}
+            if config:
+                rendered = " ".join(
+                    f"{key}={config[key]}" for key in sorted(config)
+                )
+                lines.append(f"config: {rendered}")
+        campaigns = self.spans_named("campaign")
+        if campaigns:
+            total = sum(self._duration(span) for span in campaigns)
+            status = campaigns[0].get("attrs", {}).get("status", "?")
+            lines.append(f"campaign: {total:.2f}s status={status}")
+        batches = self.spans_named("batch")
+        points = self.spans_named("point")
+        lines.append(
+            f"spans: {len(self.spans)} "
+            f"(batch={len(batches)} point={len(points)}) "
+            f"events: {len(self.events)}"
+        )
+        workers = sorted(
+            {
+                span["worker"]
+                for span in self.spans
+                if isinstance(span.get("worker"), int)
+            }
+        )
+        if workers:
+            lines.append(
+                f"workers: {len(workers)} "
+                f"({', '.join(str(pid) for pid in workers)})"
+            )
+        failures = [
+            event for event in self.events if event.get("name") in FAILURE_EVENTS
+        ]
+        if failures:
+            counts: Dict[str, int] = {}
+            for event in failures:
+                counts[str(event["name"])] = counts.get(str(event["name"]), 0) + 1
+            rendered = " ".join(f"{name}={counts[name]}" for name in sorted(counts))
+            lines.append(f"failures: {rendered}")
+        else:
+            lines.append("failures: none")
+        if self.flights:
+            reasons = ", ".join(str(f.get("reason")) for f in self.flights)
+            lines.append(f"flight dumps: {len(self.flights)} ({reasons})")
+        return "\n".join(lines)
+
+    def slowest_groups(self, count: int = 5) -> List[Tuple[str, float, int]]:
+        """The ``count`` slowest batch spans: (label, seconds, points).
+
+        Slow batches are where sweep time hides — a group whose golden
+        derivation missed the cache, or one point pinning a retry loop.
+        """
+        ranked = []
+        for span in self.spans_named("batch"):
+            attrs = span.get("attrs") or {}
+            label = str(
+                attrs.get("stratum")
+                or attrs.get("group")
+                or f"batch#{span.get('id')}"
+            )
+            ranked.append((label, self._duration(span), int(attrs.get("points", 0))))
+        ranked.sort(key=lambda item: -item[1])
+        return ranked[:count]
+
+    def render_slowest(self, count: int = 5) -> str:
+        rows = self.slowest_groups(count)
+        if not rows:
+            return "no batch spans recorded"
+        lines = [f"slowest {len(rows)} batch group(s):"]
+        for label, seconds, points in rows:
+            lines.append(f"  {seconds:8.3f}s  {points:4d} pt  {label}")
+        return "\n".join(lines)
+
+    def failure_timeline(self) -> List[Dict[str, object]]:
+        """Failure-relevant events in time order (the post-mortem spine)."""
+        failures = [
+            event for event in self.events if event.get("name") in FAILURE_EVENTS
+        ]
+        failures.sort(key=lambda event: float(event.get("t", 0.0)))
+        return failures
+
+    def render_timeline(self) -> str:
+        timeline = self.failure_timeline()
+        if not timeline:
+            return "no failure events recorded"
+        lines = ["failure timeline:"]
+        for event in timeline:
+            fields = event.get("fields") or {}
+            detail = " ".join(
+                f"{key}={fields[key]}" for key in sorted(fields)
+            )
+            lines.append(
+                f"  t={float(event.get('t', 0.0)):9.3f}s {event.get('name')}"
+                + (f" {detail}" if detail else "")
+            )
+        for flight in self.flights:
+            lines.append(
+                f"  t={float(flight.get('t', 0.0)):9.3f}s flight-dump "
+                f"reason={flight.get('reason')} "
+                f"entries={len(flight.get('entries') or [])}"
+            )
+        return "\n".join(lines)
+
+    def metrics_text(self) -> str:
+        """Final metrics snapshot rendered Prometheus-style."""
+        if not self.metrics:
+            return "no metrics snapshot recorded"
+        return render_prometheus(self.metrics).rstrip("\n")
+
+    def validate(self) -> List[str]:
+        """All schema problems in the file (empty = valid)."""
+        errors = list(self.parse_errors)
+        for record in self.records:
+            line = record.get("_line")
+            clean = {key: value for key, value in record.items() if key != "_line"}
+            errors.extend(validate_record(clean, line if isinstance(line, int) else None))
+        if self.meta is None:
+            errors.append("file: no meta record (not a repro trace?)")
+        return errors
+
+
+__all__ = ["FAILURE_EVENTS", "TraceFile"]

@@ -1,0 +1,304 @@
+"""Structured trace spans: opt-in JSONL telemetry for campaign runs.
+
+A traced campaign (``--trace PATH``) appends one JSON object per line:
+
+* ``meta`` — file header: schema id, wall-clock origin, pid, a config
+  summary;
+* ``span`` — one *completed* span, with monotonic ``t_start``/``t_end``
+  (seconds since the trace origin), the emitting ``pid``, the ``worker``
+  pid when the work ran in a pool worker, an ``id`` and a ``parent`` id.
+  The hierarchy is ``campaign`` → ``batch`` (one stratum batch) →
+  ``point`` (one sampled fault);
+* ``event`` — an instantaneous occurrence (supervisor interventions:
+  retries, pool restarts, quarantines, chaos, interrupts) with a single
+  ``t``;
+* ``metrics`` — the final metrics-registry snapshot, appended once at
+  campaign end (rendered Prometheus-style by ``repro trace --metrics``);
+* ``flight`` — a flight-recorder dump (crash/SIGINT post-mortems).
+
+The module-level activation (:func:`activate` / :func:`deactivate`)
+keeps the instrumentation *in* the engine unconditional and free:
+:func:`begin_span` / :func:`end_span` / :func:`event` are no-ops
+returning immediately while no telemetry session is active, so an
+untraced campaign executes the exact same code path — the inertness the
+differential tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, IO, List, Optional, Union
+
+TRACE_SCHEMA = "repro-trace/1"
+
+
+class TraceWriter:
+    """Append-only JSONL trace file with monotonic span bookkeeping."""
+
+    def __init__(
+        self,
+        path: Union[str, "os.PathLike[str]"],
+        *,
+        config: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.path = str(path)
+        self._stream: Optional[IO[str]] = open(self.path, "w", encoding="utf-8")
+        self._origin = time.perf_counter()
+        self._next_id = 1
+        self._open_spans: Dict[int, Dict[str, object]] = {}
+        self._emit(
+            {
+                "event": "meta",
+                "schema": TRACE_SCHEMA,
+                "created_unix": time.time(),
+                "pid": os.getpid(),
+                "config": config or {},
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    def now(self) -> float:
+        """Monotonic seconds since the trace origin."""
+        return time.perf_counter() - self._origin
+
+    def _emit(self, record: Dict[str, object]) -> None:
+        if self._stream is None:
+            return
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def begin_span(self, name: str, parent: Optional[int] = None, **attrs: object) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        self._open_spans[span_id] = {
+            "name": name,
+            "parent": parent,
+            "t_start": self.now(),
+            "attrs": dict(attrs),
+            "worker": None,
+        }
+        return span_id
+
+    def end_span(
+        self, span_id: int, *, worker: Optional[int] = None, **attrs: object
+    ) -> None:
+        span = self._open_spans.pop(span_id, None)
+        if span is None:
+            return
+        span["attrs"].update(attrs)
+        self._emit(
+            {
+                "event": "span",
+                "name": span["name"],
+                "id": span_id,
+                "parent": span["parent"],
+                "t_start": span["t_start"],
+                "t_end": self.now(),
+                "pid": os.getpid(),
+                "worker": worker if worker is not None else span["worker"],
+                "attrs": span["attrs"],
+            }
+        )
+
+    def emit_span(
+        self,
+        name: str,
+        *,
+        parent: Optional[int] = None,
+        t_start: float,
+        t_end: float,
+        worker: Optional[int] = None,
+        **attrs: object,
+    ) -> int:
+        """Emit a completed span whose window was measured externally
+        (e.g. per-point windows inside an already-timed batch job)."""
+        span_id = self._next_id
+        self._next_id += 1
+        self._emit(
+            {
+                "event": "span",
+                "name": name,
+                "id": span_id,
+                "parent": parent,
+                "t_start": t_start,
+                "t_end": t_end,
+                "pid": os.getpid(),
+                "worker": worker,
+                "attrs": dict(attrs),
+            }
+        )
+        return span_id
+
+    def event(self, name: str, **fields: object) -> None:
+        self._emit(
+            {
+                "event": "event",
+                "name": name,
+                "t": self.now(),
+                "pid": os.getpid(),
+                "fields": dict(fields),
+            }
+        )
+
+    def emit_metrics(self, payload: List[Dict[str, object]]) -> None:
+        self._emit({"event": "metrics", "t": self.now(), "metrics": payload})
+
+    def emit_flight(self, reason: str, entries: List[Dict[str, object]]) -> None:
+        self._emit(
+            {
+                "event": "flight",
+                "t": self.now(),
+                "pid": os.getpid(),
+                "reason": reason,
+                "entries": entries,
+            }
+        )
+
+    def close(self) -> None:
+        if self._stream is None:
+            return
+        # Abandoned open spans (crash paths) are emitted as-is so the
+        # post-mortem still sees where time was going.
+        for span_id in list(self._open_spans):
+            self.end_span(span_id, aborted=True)
+        stream, self._stream = self._stream, None
+        stream.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class Telemetry:
+    """One campaign's telemetry session: trace writer + progress config.
+
+    ``trace_path`` and ``progress_interval`` are both optional and
+    independent — a heartbeat needs no trace file and vice versa.  The
+    writer opens lazily on :meth:`open` (called by activation) so a
+    constructed-but-unused session touches no filesystem.
+    """
+
+    def __init__(
+        self,
+        trace_path: Optional[Union[str, "os.PathLike[str]"]] = None,
+        *,
+        progress_interval: Optional[float] = None,
+        config: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if progress_interval is not None and progress_interval < 0:
+            raise ValueError("progress_interval must be >= 0 (or None)")
+        self.trace_path = str(trace_path) if trace_path is not None else None
+        self.progress_interval = progress_interval
+        self.config = dict(config) if config else {}
+        self.writer: Optional[TraceWriter] = None
+
+    def open(self) -> None:
+        if self.trace_path is not None and self.writer is None:
+            self.writer = TraceWriter(self.trace_path, config=self.config)
+
+    def close(self) -> None:
+        writer, self.writer = self.writer, None
+        if writer is not None:
+            writer.close()
+
+
+# ---------------------------------------------------------------------- #
+# module-level activation — the engine's no-op-when-off hooks            #
+# ---------------------------------------------------------------------- #
+_ACTIVE: Optional[Telemetry] = None
+
+
+def activate(telemetry: Telemetry) -> Telemetry:
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a telemetry session is already active")
+    telemetry.open()
+    _ACTIVE = telemetry
+    return telemetry
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    active_session, _ACTIVE = _ACTIVE, None
+    if active_session is not None:
+        active_session.close()
+
+
+def active() -> Optional[Telemetry]:
+    return _ACTIVE
+
+
+def _writer() -> Optional[TraceWriter]:
+    return _ACTIVE.writer if _ACTIVE is not None else None
+
+
+def begin_span(name: str, parent: Optional[int] = None, **attrs: object) -> int:
+    writer = _writer()
+    return writer.begin_span(name, parent, **attrs) if writer is not None else 0
+
+
+def end_span(span_id: int, *, worker: Optional[int] = None, **attrs: object) -> None:
+    writer = _writer()
+    if writer is not None and span_id:
+        writer.end_span(span_id, worker=worker, **attrs)
+
+
+def emit_span(
+    name: str,
+    *,
+    parent: Optional[int] = None,
+    t_start: float,
+    t_end: float,
+    worker: Optional[int] = None,
+    **attrs: object,
+) -> None:
+    writer = _writer()
+    if writer is not None:
+        writer.emit_span(
+            name, parent=parent, t_start=t_start, t_end=t_end, worker=worker, **attrs
+        )
+
+
+def event(name: str, **fields: object) -> None:
+    writer = _writer()
+    if writer is not None:
+        writer.event(name, **fields)
+
+
+def emit_metrics(payload: List[Dict[str, object]]) -> None:
+    writer = _writer()
+    if writer is not None:
+        writer.emit_metrics(payload)
+
+
+def emit_flight(reason: str, entries: List[Dict[str, object]]) -> None:
+    writer = _writer()
+    if writer is not None:
+        writer.emit_flight(reason, entries)
+
+
+def now() -> float:
+    """Monotonic trace time (0.0 while no trace file is open)."""
+    writer = _writer()
+    return writer.now() if writer is not None else 0.0
+
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "Telemetry",
+    "TraceWriter",
+    "activate",
+    "active",
+    "begin_span",
+    "deactivate",
+    "emit_flight",
+    "emit_metrics",
+    "emit_span",
+    "end_span",
+    "event",
+    "now",
+]
