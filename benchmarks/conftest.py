@@ -58,14 +58,30 @@ def save_artifact(artifact_dir):
     return _save
 
 
+def effective_cpus() -> int:
+    """CPUs this process may actually run on — the affinity mask when
+    the platform exposes one (containers and CI runners routinely pin
+    far fewer cores than ``os.cpu_count()`` reports), else the count."""
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            return len(getter(0))
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
 def host_platform() -> dict:
     """Host metadata stamped into every BENCH report, so cross-run
     comparisons (BENCH_7 vs BENCH_6 floors etc.) can be sanity-checked
-    against the machine that produced the baseline."""
+    against the machine that produced the baseline.  ``cpus`` is the
+    *effective* core count (affinity mask); ``cpu_count`` stays the raw
+    hardware count for comparison."""
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
+        "cpus": effective_cpus(),
         "cpu_count": os.cpu_count(),
     }
 

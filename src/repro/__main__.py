@@ -25,6 +25,8 @@ Result stores can be checked and healed in place::
 
     python -m repro store campaign.sqlite --verify   # checksum scan
     python -m repro store campaign.sqlite --repair   # drop corrupt rows
+    python -m repro store campaign.sqlite \
+        --merge campaign.sqlite.shards/shard-*.sqlite   # fold worker shards
 
 Campaigns can record structured telemetry, queryable afterwards::
 
@@ -595,6 +597,18 @@ def _build_store_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="chaos: bit-corrupt the N-th result row (by key order)",
     )
+    parser.add_argument(
+        "--merge",
+        nargs="+",
+        type=pathlib.Path,
+        default=None,
+        metavar="SHARD",
+        help=(
+            "fold worker shard stores into PATH (created if missing); "
+            "content-addressed keys make the merge idempotent and "
+            "order-independent"
+        ),
+    )
     return parser
 
 
@@ -603,7 +617,7 @@ def _run_store_command(argv: List[str]) -> int:
     from repro.store import ResultStore
 
     args = _build_store_parser().parse_args(argv)
-    if not args.path.exists():
+    if not args.path.exists() and args.merge is None:
         print(f"no store at {args.path}", file=sys.stderr)
         return 2
     try:
@@ -611,6 +625,20 @@ def _run_store_command(argv: List[str]) -> int:
             key = corrupt_store_row(args.path, args.corrupt_row)
             print(f"[store] corrupted row {args.corrupt_row} (key {key})")
         with ResultStore(args.path) as store:
+            if args.merge is not None:
+                from repro.store import merge_shards
+
+                missing = [shard for shard in args.merge if not shard.exists()]
+                if missing:
+                    names = ", ".join(str(shard) for shard in missing)
+                    print(f"[store] no shard at {names}", file=sys.stderr)
+                    return 2
+                merged = merge_shards(store, args.merge)
+                print(
+                    f"[store] merged {merged} row(s) from "
+                    f"{len(args.merge)} shard(s); entries={len(store)}"
+                )
+                return 0
             if args.repair:
                 report = store.repair()
                 print(f"[store] repair: {report.describe()}")

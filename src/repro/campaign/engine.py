@@ -423,14 +423,23 @@ def _simulate_point_supervised(
     }
 
 
-def _simulate_batch(specs: Sequence[SimulationSpec]) -> Dict[str, object]:
+def _simulate_batch(
+    specs: Sequence[SimulationSpec], shard_store: Optional[str] = None
+) -> Dict[str, object]:
     """Worker-side job: one whole batch through the shared-golden path.
 
-    Returns an envelope ``{"results", "pid", "phases"}``; ``results`` is
-    ``(payload, replay_mode)`` per spec, in input order — the mode
-    string feeds the ``analytical=/streamed=/full=`` counters — and the
-    drained phase snapshot carries this job's golden/triage/residue
-    timings back to the campaign process.
+    Returns an envelope ``{"results", "pid", "phases", "persisted"}``;
+    ``results`` is ``(payload, replay_mode)`` per spec, in input order —
+    the mode string feeds the ``analytical=/streamed=/full=`` counters —
+    and the drained phase snapshot carries this job's golden/triage/
+    residue timings back to the campaign process.
+
+    With ``shard_store`` set (the canonical store's path), the worker
+    also persists its finished rows to its **own** shard file
+    (:mod:`repro.store.sharding`) before returning — the campaign
+    process then merges shards instead of re-writing every payload
+    through one connection, and ``persisted=True`` tells it to skip its
+    own ``put_many`` for this group.
     """
     from repro.campaign.replay import run_injection_batch
 
@@ -439,10 +448,25 @@ def _simulate_batch(specs: Sequence[SimulationSpec]) -> Dict[str, object]:
         (result.payload(), result.replay_mode)
         for result in run_injection_batch(list(specs))
     ]
+    persisted = False
+    if shard_store is not None:
+        from repro.store import canonical_json, spec_hash
+        from repro.store.sharding import shard_writer
+
+        with _metrics.phase_timer("store_write"):
+            shard_writer(shard_store).put_many(
+                [
+                    (spec_hash(spec), payload, canonical_json(spec))
+                    for spec, (payload, _mode) in zip(specs, results)
+                ],
+                kind="injection",
+            )
+        persisted = True
     return {
         "results": results,
         "pid": os.getpid(),
         "phases": _metrics.drain_phase_payload(),
+        "persisted": persisted,
     }
 
 
@@ -511,7 +535,13 @@ class _PointSupervisor:
     rescheduled uncharged.
     """
 
-    def __init__(self, config: CampaignConfig, chaos, stats: SupervisorStats) -> None:
+    def __init__(
+        self,
+        config: CampaignConfig,
+        chaos,
+        stats: SupervisorStats,
+        shard_store: Optional[str] = None,
+    ) -> None:
         self.config = config
         self.chaos = chaos
         self.stats = stats
@@ -526,6 +556,13 @@ class _PointSupervisor:
         else:
             self._pooled = workers is not None and workers > 1
         self._width = workers if self._pooled else None
+        # Workers write their own store shards only where contention
+        # exists at all: a real store file, a process pool, group jobs.
+        self.shard_store = (
+            shard_store
+            if self._pooled and config.replay_mode == "batched"
+            else None
+        )
         self._executor: Optional[ProcessPoolExecutor] = None
         self._isolating = False
         self.next_index = 0
@@ -674,18 +711,35 @@ class _PointSupervisor:
             pending = sorted(retry)
         return payloads, quarantined
 
+    def inflight_groups(self) -> int:
+        """Group jobs one stratum window keeps in flight.
+
+        Pooled batched campaigns target **two groups per worker**: one
+        running while its successor queues, so workers never idle
+        between a group finishing and the engine's collect/flush — and
+        golden-artefact derivation for one group overlaps residue
+        replay of another.  Serial campaigns window one group at a
+        time (there is nothing to overlap with).
+        """
+        if not self._pooled:
+            return 1
+        return max(2, 2 * (self._width or 1))
+
     def run_batch_grouped(
-        self, jobs: Sequence[Tuple[int, SimulationSpec]]
+        self, jobs: Sequence[Tuple[int, SimulationSpec]], *, chunk: Optional[int] = None
     ) -> Tuple[
         Dict[int, Dict[str, object]],
         Dict[int, Tuple[CampaignError, int]],
         Dict[int, str],
+        set,
     ]:
-        """Run one stratum batch through the batched replay backend.
+        """Run one stratum window through the batched replay backend.
 
-        Returns ``(payloads, quarantined, modes)``; ``modes`` maps each
-        completed global index to its replay mode (``analytical`` /
-        ``streamed`` / ``full``).
+        Returns ``(payloads, quarantined, modes, persisted)``; ``modes``
+        maps each completed global index to its replay mode
+        (``analytical`` / ``streamed`` / ``full``) and ``persisted``
+        holds the indices whose rows a worker already wrote to its own
+        store shard (the engine must not write them again).
 
         Semantics are preserved by routing, not by re-implementation:
 
@@ -693,11 +747,13 @@ class _PointSupervisor:
           one-shot directives still fire exactly once) take the
           per-point path, where kill/hang/fail directives land on a
           process boundary exactly as in ``--replay-mode=point``;
-        * the rest run as **one** pool job against shared golden state,
-          under a watchdog scaled to the batch size;
-        * if that group job times out, crashes its worker or raises,
-          every point in it is retried through the per-point path —
-          which owns retry accounting, backoff, isolation mode and
+        * the rest run as group jobs of up to ``chunk`` points against
+          shared golden state — **all submitted up front**, so a pooled
+          campaign keeps every worker busy — each under a watchdog
+          scaled to its size;
+        * if a group job times out, crashes its worker or raises, every
+          point in it is retried through the per-point path — which
+          owns retry accounting, backoff, isolation mode and
           quarantine — so a poison point is attributed and quarantined
           precisely, and no batch failure is ever charged to innocents.
         """
@@ -710,15 +766,25 @@ class _PointSupervisor:
                 group_jobs.append((index, spec))
         payloads: Dict[int, Dict[str, object]] = {}
         modes: Dict[int, str] = {}
+        persisted: set = set()
         if group_jobs:
-            _flight.record("dispatch-group", points=len(group_jobs))
-            batch = self._run_group([spec for _index, spec in group_jobs])
-            if batch is None:
-                point_jobs = point_jobs + group_jobs
-            else:
+            size = chunk if chunk else len(group_jobs)
+            groups = [
+                group_jobs[start : start + size]
+                for start in range(0, len(group_jobs), size)
+            ]
+            _flight.record(
+                "dispatch-group", points=len(group_jobs), groups=len(groups)
+            )
+            for group, batch in self._run_groups(groups):
+                if batch is None:
+                    point_jobs.extend(group)
+                    continue
                 _metrics.merge_phase_payload(batch["phases"])
+                if batch.get("persisted"):
+                    persisted.update(index for index, _spec in group)
                 for (index, _spec), (payload, mode) in zip(
-                    group_jobs, batch["results"]
+                    group, batch["results"]
                 ):
                     payloads[index] = payload
                     modes[index] = mode
@@ -729,34 +795,69 @@ class _PointSupervisor:
             for index, payload in point_payloads.items():
                 payloads[index] = payload
                 modes[index] = "full"
-        return payloads, quarantined, modes
+        return payloads, quarantined, modes, persisted
 
-    def _run_group(self, specs: Sequence[SimulationSpec]):
-        """One batched replay of ``specs``; ``None`` = retry per-point."""
+    def _run_groups(self, groups):
+        """Run group jobs, overlapped when pooled.
+
+        Yields ``(group, envelope)`` pairs in submission order;
+        ``envelope=None`` means "retry this group's points per-point".
+        Pooled execution submits **every** group before collecting the
+        first result, so up to pool-width groups run concurrently and
+        the rest queue warm behind them.
+        """
         if not self._pooled:
+            for group in groups:
+                try:
+                    yield group, _simulate_batch(
+                        [spec for _index, spec in group]
+                    )
+                except Exception:  # noqa: BLE001 - per-point path attributes it
+                    yield group, None
+            return
+        submitted = []
+        for group in groups:
             try:
-                return _simulate_batch(specs)
+                future = self._pool().submit(
+                    _simulate_batch,
+                    [spec for _index, spec in group],
+                    self.shard_store,
+                )
+            except BrokenProcessPool:
+                self._kill_pool()
+                self._isolating = True
+                future = None
+            submitted.append((group, future))
+        broken = False
+        for group, future in submitted:
+            if future is None or broken:
+                # The pool died under an earlier group: keep results
+                # that finished in time, reschedule the rest uncharged
+                # (the group whose wait raised took the blame).
+                if (
+                    future is not None
+                    and future.done()
+                    and not future.cancelled()
+                    and future.exception() is None
+                ):
+                    yield group, future.result()
+                else:
+                    yield group, None
+                continue
+            timeout = (
+                self.config.point_timeout * max(1, len(group))
+                if self.config.point_timeout is not None
+                else None
+            )
+            try:
+                yield group, future.result(timeout=timeout)
+            except (FuturesTimeoutError, BrokenProcessPool):
+                self._kill_pool()
+                self._isolating = True
+                broken = True
+                yield group, None
             except Exception:  # noqa: BLE001 - per-point path attributes it
-                return None
-        timeout = (
-            self.config.point_timeout * max(1, len(specs))
-            if self.config.point_timeout is not None
-            else None
-        )
-        try:
-            future = self._pool().submit(_simulate_batch, list(specs))
-        except BrokenProcessPool:
-            self._kill_pool()
-            self._isolating = True
-            return None
-        try:
-            return future.result(timeout=timeout)
-        except (FuturesTimeoutError, BrokenProcessPool):
-            self._kill_pool()
-            self._isolating = True
-            return None
-        except Exception:  # noqa: BLE001 - per-point path attributes it
-            return None
+                yield group, None
 
     def _chaos_worker_directive(self, index: int, *, inline: bool):
         if self.chaos is None:
@@ -975,7 +1076,26 @@ def run_campaign(
         telemetry.progress_interval if telemetry is not None else None,
         expected=config.trials * sum(1 for _ in config.strata()),
     )
-    supervisor = _PointSupervisor(config, chaos, result.stats)
+    supervisor = _PointSupervisor(
+        config,
+        chaos,
+        result.stats,
+        shard_store=(
+            store.path
+            if store is not None and store.path != ":memory:"
+            else None
+        ),
+    )
+    merger = None
+    if store is not None and store.path != ":memory:":
+        from repro.store.sharding import ShardMerger
+
+        merger = ShardMerger(store)
+        # Orphan recovery: shards left by a killed run are folded in
+        # *before* the first resume lookup, so their points resume as
+        # store hits exactly as if the canonical file had been written.
+        merger.merge()
+        merger.discard_shards()
     campaign_span = _trace.begin_span(
         "campaign",
         kernels=",".join(config.kernels),
@@ -1002,6 +1122,7 @@ def run_campaign(
                     result=result,
                     heartbeat=heartbeat,
                     campaign_span=campaign_span,
+                    merger=merger,
                 )
                 result.strata.append(stratum)
     except CampaignInterrupted as error:
@@ -1016,6 +1137,12 @@ def run_campaign(
         raise
     finally:
         supervisor.close()
+        if merger is not None:
+            # The pool is down: one last merge drains anything a worker
+            # persisted that the flush-boundary merges missed, then the
+            # fully folded shard files are deleted.
+            merger.merge()
+            merger.discard_shards()
         _trace.emit_metrics(_metrics.registry().to_payload())
         _trace.end_span(
             campaign_span,
@@ -1044,17 +1171,28 @@ def _run_stratum(
     result: CampaignResult,
     heartbeat: Optional[_Heartbeat] = None,
     campaign_span: int = 0,
+    merger=None,
 ) -> StratumSummary:
     from repro.store import canonical_json, spec_hash
 
     interference = config.scenario_interference(scenario)
     stratum_label = f"{kernel}/{policy_value}/{target}/{scenario}/{scale:g}"
     counts: Dict[str, int] = {key: 0 for key in OUTCOME_KEYS}
+    # Window sizing: a batched sweep with no early-stopping checks to
+    # honour samples `inflight_groups` batches at once and submits them
+    # all, so a pooled campaign keeps >= 2 group jobs per worker in
+    # flight.  With a CI target (or the point backend) the window stays
+    # one batch, preserving the historical check cadence exactly.
+    window_groups = (
+        supervisor.inflight_groups()
+        if config.replay_mode == "batched" and config.ci_target is None
+        else 1
+    )
     done = 0
     stratum_quarantined = 0
     early = False
     while done < config.trials and not early:
-        batch_size = min(config.batch, config.trials - done)
+        batch_size = min(config.batch * window_groups, config.trials - done)
         with _metrics.phase_timer("sampling"):
             faults = sample_faults(
                 kernel,
@@ -1112,11 +1250,14 @@ def _run_stratum(
                 to_run.append(slot)
         quarantined_slots: List[int] = []
         rows: List[Tuple[str, Dict[str, object], str]] = []
+        persisted: set = set()
         if to_run:
             jobs = [(indices[slot], specs[slot]) for slot in to_run]
             run_started = _trace.now()
             if config.replay_mode == "batched":
-                computed, poisoned, modes = supervisor.run_batch_grouped(jobs)
+                computed, poisoned, modes, persisted = (
+                    supervisor.run_batch_grouped(jobs, chunk=config.batch)
+                )
             else:
                 computed, poisoned = supervisor.run_batch(jobs)
                 modes = {}
@@ -1145,7 +1286,7 @@ def _run_stratum(
                         mode=mode,
                         outcome=str(computed[index]["outcome"]),
                     )
-                    if store is not None:
+                    if store is not None and index not in persisted:
                         rows.append(
                             (keys[slot], computed[index], canonical_json(specs[slot]))
                         )
@@ -1178,6 +1319,11 @@ def _run_stratum(
         if rows:
             with _metrics.phase_timer("store_write"):
                 store.put_many(rows, kind="injection")
+        if merger is not None and supervisor.shard_store is not None:
+            # Fold worker shards in at the flush boundary, so the
+            # canonical store checkpoints exactly what the single-writer
+            # path would have — a SIGINT here resumes byte-identically.
+            merger.merge()
         _trace.end_span(
             batch_span,
             hits=batch_hits,

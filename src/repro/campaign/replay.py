@@ -721,10 +721,10 @@ def _analytic_result(
         triggered=verdict.triggered,
         resident=verdict.resident,
         dirty_at_injection=verdict.dirty_at_injection,
-        diverged=False,
+        diverged=verdict.diverged,
         events=tuple(verdict.events),
         golden_instructions=golden_instructions,
-        faulty_instructions=golden_instructions,
+        faulty_instructions=golden_instructions + verdict.instruction_delta,
         replay_mode="analytical",
     )
 

@@ -16,6 +16,14 @@ One walk covers *all* faulted words of a batch simultaneously — the
 cost is one pass over the op stream per (kernel, scale, write-policy)
 group, a few milliseconds, shared by hundreds of fault points.
 
+The same invariant carries the timeline-delta walk
+(:func:`repro.campaign.triage._walk_divergent`): as long as that walk
+proves the faulty PC stream equal to the golden one (or equal modulo a
+pure-NOP reconvergence), these per-word event timelines remain valid
+*past* the first corrupted-value load, so the faulted word's
+cache/backing masks can keep evolving analytically instead of streaming
+the point through ``resume_faulty``.
+
 The per-set metadata model is :class:`~repro.campaign.lean_sim.OneSetModel`,
 the same replica of ``SetAssociativeCache`` set behaviour the faulty
 resume path uses, so the two stay in lock-step by construction.
@@ -43,6 +51,19 @@ EV_END_DISCARD = 7  #: resident + clean at end of run: discarded
 #: One event: (op ordinal, kind, a, b).  Ordinals are 1-based; the
 #: end-of-run events use ordinal ``total_ops + 1``.
 Event = Tuple[int, int, int, int]
+
+#: Structural event kinds: cache-metadata traffic (fills / evictions /
+#: sibling-word stores) as opposed to data accesses of the word itself.
+#: The timeline-delta walk consumes these between interpreted ops.
+STRUCTURAL_EVENTS = frozenset(
+    {EV_EVICT_CLEAN, EV_EVICT_DIRTY, EV_FILL, EV_LINE_STORE}
+)
+
+
+def subword_mask(size: int, shift: int) -> int:
+    """32-bit mask of the bytes a ``size``-byte access at bit ``shift``
+    touches inside its word (the whole word for ``size == 4``)."""
+    return (((1 << (8 * size)) - 1) << shift) & 0xFFFFFFFF
 
 
 @dataclass(frozen=True)

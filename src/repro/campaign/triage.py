@@ -43,7 +43,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.campaign.lean_sim import GoldenRun
+from repro.campaign.lean_sim import (
+    _M32,
+    _OP_CALL,
+    _OP_HALT,
+    _OP_JUMP,
+    _OP_LOAD,
+    _OP_NOP,
+    _OP_STORE,
+    GoldenRun,
+    _alu_eval,
+    _branch_taken,
+    golden_state_at,
+)
 from repro.campaign.timeline import (
     EV_END_DISCARD,
     EV_END_FLUSH,
@@ -55,8 +67,10 @@ from repro.campaign.timeline import (
     EV_STORE,
     CacheGeometry,
     Event,
+    subword_mask,
 )
 from repro.ecc.codec import DecodeResult, DecodeStatus
+from repro.isa.instructions import INSTRUCTION_BYTES
 from repro.memory.config import CacheConfig, ReplacementPolicy, WritePolicy
 
 
@@ -69,6 +83,12 @@ class AnalyticOutcome:
     resident: bool
     dirty_at_injection: bool
     events: Tuple[str, ...] = ()
+    #: True when a load *did* observe corrupted bits but the
+    #: timeline-delta walk still proved the outcome without streaming.
+    diverged: bool = False
+    #: Faulty-minus-golden retired-instruction count; nonzero only for
+    #: walk-proved stream deviations (NOP-reconvergent branch flips).
+    instruction_delta: int = 0
 
 
 @dataclass
@@ -184,6 +204,291 @@ def _walk_detected_wt(
 
 
 # --------------------------------------------------------------------- #
+# timeline-delta walk: prove load-visible corruptions without streaming #
+# --------------------------------------------------------------------- #
+#: Retired-instruction budget of one timeline-delta walk.  A walk that
+#: would exceed it bails to the streamed residue path, so the budget
+#: trades analytical coverage against worst-case walk cost; 0 disables
+#: the walk entirely (every load-visible corruption streams).
+TIMING_WALK_BUDGET = 100_000
+
+#: Longest straight NOP run the reconvergence scan follows when a
+#: corrupted condition code flips a branch.
+_NOP_RECONVERGENCE_LIMIT = 64
+
+
+def _nop_reconvergence(table, from_pc: int, to_pc: int) -> Optional[int]:
+    """Number of straight fall-through NOPs leading from ``from_pc`` to
+    ``to_pc``, or None when the path is not a short pure-NOP run."""
+    count = 0
+    pc = from_pc
+    while count < _NOP_RECONVERGENCE_LIMIT:
+        t = table.get(pc)
+        if t is None or t[0] != _OP_NOP:
+            return None
+        pc = t[8]  # fall-through
+        count += 1
+        if pc == to_pc:
+            return count
+    return None
+
+
+def _walk_divergent(
+    golden: GoldenRun,
+    wa: int,
+    events: Sequence[Event],
+    event_index: int,
+    *,
+    cache_mask: int,
+    backing_mask: int,
+    dirty_at_injection: bool,
+    budget: Optional[int] = None,
+) -> Optional[AnalyticOutcome]:
+    """Prove a load-visible corruption's outcome without streaming it.
+
+    Interprets the *golden* instruction stream from the diverging load
+    onward (control flow taken from the recorded PC stream, data state
+    re-seeded from the nearest snapshot) while tracking, exactly:
+
+    * the faulty value of every tainted register — the golden value is
+      in the interpreted register file, so every ALU op with tainted
+      operands is evaluated once per machine and taints that die
+      (``faulty == golden``) are dropped immediately;
+    * the XOR delta of every word a tainted value was stored to
+      (sub-word merges included), which later loads re-taint from;
+    * the faulted word's cache/backing masks, continuing the raw-mask
+      event walk — tainted stores *merge into* the cache mask instead of
+      clearing it;
+    * the faulty condition codes, only while they differ from golden.
+
+    The faulty PC stream provably equals the golden one as long as no
+    tainted value reaches an address computation, an indirect jump or a
+    flipped branch.  The one provable deviation is a flipped branch
+    whose divergent arm is a straight NOP run that reconverges with the
+    other arm: the known fixed-penalty case, contributing a pure
+    retired-instruction delta (→ ``timing`` when the final state
+    matches).  Everything else returns None and the point streams
+    through :func:`~repro.campaign.lean_sim.resume_faulty`; correctness
+    never depends on walk coverage.
+    """
+    budget = TIMING_WALK_BUDGET if budget is None else budget
+    if budget <= 0:
+        return None
+    ord0 = events[event_index][0]
+    table = golden.table
+    pcs = golden.pcs
+    golden_len = len(pcs)
+    i = golden.op_instr[ord0 - 1]
+    regs, mem = golden_state_at(golden, i)
+    mget = mem.get
+    taint: Dict[int, int] = {}
+    cc_f: Optional[Tuple[bool, bool, bool, bool]] = None
+    delta: Dict[int, int] = {}
+    k = ord0 - 1  # completed memory-op ordinal
+    ei = event_index
+    n_events = len(events)
+    instr_delta = 0
+    stream_diverged = False
+
+    def pump() -> None:
+        """Consume the faulted word's structural events up to op ``k``
+        (the data access events at ``k`` are handled by the op itself)."""
+        nonlocal ei, cache_mask, backing_mask
+        while ei < n_events:
+            e_ord, e_kind = events[ei][0], events[ei][1]
+            if e_ord > k or (e_ord == k and e_kind in (EV_LOAD, EV_STORE)):
+                return
+            if e_kind == EV_FILL:
+                cache_mask = backing_mask
+            elif e_kind == EV_EVICT_DIRTY:
+                backing_mask = cache_mask
+                cache_mask = 0
+            elif e_kind == EV_EVICT_CLEAN:
+                cache_mask = 0
+            # EV_LINE_STORE only tracks dirtiness; the eviction events
+            # already carry the resulting kind.
+            ei += 1
+
+    while i < golden_len:
+        if budget <= 0:
+            return None
+        budget -= 1
+        pc = pcs[i]
+        op, rd, rs1, rs2, imm, imm_u, uses_imm, size, fall, target, sx = table[pc]
+        if op < 18:
+            a_g = regs[rs1]
+            b_g = imm_u if uses_imm else regs[rs2]
+            r_g, flags_g = _alu_eval(op, a_g, b_g, imm_u)
+            if rs1 in taint or (not uses_imm and rs2 in taint):
+                r_f, flags_f = _alu_eval(
+                    op,
+                    taint.get(rs1, a_g),
+                    b_g if uses_imm else taint.get(rs2, b_g),
+                    imm_u,
+                )
+            else:
+                r_f, flags_f = r_g, flags_g
+            if flags_g is not None:
+                cc_f = flags_f if flags_f != flags_g else None
+            if rd:
+                regs[rd] = r_g
+                if r_f != r_g:
+                    taint[rd] = r_f
+                else:
+                    taint.pop(rd, None)
+        elif op == _OP_LOAD:
+            if rs1 in taint or (not uses_imm and rs2 in taint):
+                return None  # tainted address: access stream unprovable
+            address = (regs[rs1] + (imm if uses_imm else regs[rs2])) & _M32
+            word_address = address & ~0x3
+            k += 1
+            pump()
+            word = mget(word_address, 0)
+            if word_address == wa:
+                ei += 1  # consume this op's EV_LOAD entry
+                xor = cache_mask
+            else:
+                xor = delta.get(word_address, 0)
+            if size == 4:
+                raw_g = word
+                raw_f = word ^ xor
+            else:
+                shift = (address & 0x3) * 8
+                sub = 0xFF if size == 1 else 0xFFFF
+                raw_g = (word >> shift) & sub
+                raw_f = ((word ^ xor) >> shift) & sub
+                if sx == 1:
+                    if raw_g & 0x80:
+                        raw_g |= 0xFFFFFF00
+                    if raw_f & 0x80:
+                        raw_f |= 0xFFFFFF00
+                elif sx == 2:
+                    if raw_g & 0x8000:
+                        raw_g |= 0xFFFF0000
+                    if raw_f & 0x8000:
+                        raw_f |= 0xFFFF0000
+            if rd:
+                regs[rd] = raw_g
+                if raw_f != raw_g:
+                    taint[rd] = raw_f
+                else:
+                    taint.pop(rd, None)
+        elif op == _OP_STORE:
+            if rs1 in taint or (not uses_imm and rs2 in taint):
+                return None  # tainted address: access stream unprovable
+            address = (regs[rs1] + (imm if uses_imm else regs[rs2])) & _M32
+            word_address = address & ~0x3
+            k += 1
+            pump()
+            shift = (address & 0x3) * 8
+            smask = subword_mask(size, shift)
+            value_g = regs[rd]
+            value_f = taint.get(rd, value_g)
+            prev = mget(word_address, 0)
+            mem[word_address] = (prev & ~smask) | ((value_g << shift) & smask)
+            xor_bits = ((value_f ^ value_g) << shift) & smask
+            if word_address == wa:
+                ei += 1  # consume this op's EV_STORE entry
+                cache_mask = (cache_mask & ~smask) | xor_bits
+            else:
+                d = (delta.get(word_address, 0) & ~smask) | xor_bits
+                if d:
+                    delta[word_address] = d
+                else:
+                    delta.pop(word_address, None)
+        elif op < 36:  # branches
+            if cc_f is not None and i + 1 < golden_len:
+                f_next = target if _branch_taken(op, *cc_f) else fall
+                g_next = pcs[i + 1]
+                if f_next != g_next:
+                    # The corrupted flags flipped this branch.  Provable
+                    # only when the divergent arm is a straight NOP run
+                    # reconverging with the golden arm.
+                    extra = _nop_reconvergence(table, f_next, g_next)
+                    if extra is not None:
+                        # Faulty falls through `extra` NOPs golden skips.
+                        instr_delta += extra
+                        stream_diverged = True
+                    else:
+                        count = 0
+                        j = i + 1
+                        while (
+                            j < golden_len
+                            and count < _NOP_RECONVERGENCE_LIMIT
+                            and table[pcs[j]][0] == _OP_NOP
+                        ):
+                            j += 1
+                            count += 1
+                        if count and j < golden_len and pcs[j] == f_next:
+                            # Faulty skips `count` NOPs golden executes.
+                            instr_delta -= count
+                            stream_diverged = True
+                        else:
+                            return None  # divergent arms: unprovable
+        elif op == _OP_CALL:
+            if rd:
+                regs[rd] = pc + INSTRUCTION_BYTES
+                taint.pop(rd, None)
+        elif op == _OP_JUMP:
+            if rs1 in taint:
+                return None  # tainted indirect target: unprovable
+            if rd:
+                regs[rd] = pc + INSTRUCTION_BYTES
+                taint.pop(rd, None)
+        elif op == _OP_HALT:
+            break
+        # _OP_NOP: no effect
+        i += 1
+        if (
+            not taint
+            and cc_f is None
+            and not delta
+            and not cache_mask
+            and not backing_mask
+        ):
+            # Every corruption channel is dead: the rest of the run is
+            # bit-identical to golden.
+            return AnalyticOutcome(
+                outcome="timing" if stream_diverged else "masked",
+                triggered=True,
+                resident=True,
+                dirty_at_injection=dirty_at_injection,
+                diverged=True,
+                instruction_delta=instr_delta,
+            )
+
+    # Drain the remaining events: the end-of-run flush decides where the
+    # faulted word's mask ends up (remaining structural traffic was
+    # already consumed at its triggering ops).
+    while ei < n_events:
+        e_kind = events[ei][1]
+        if e_kind == EV_FILL:
+            cache_mask = backing_mask
+        elif e_kind == EV_EVICT_DIRTY:
+            backing_mask = cache_mask
+            cache_mask = 0
+        elif e_kind == EV_EVICT_CLEAN:
+            cache_mask = 0
+        elif e_kind == EV_END_FLUSH:
+            backing_mask = cache_mask
+        ei += 1
+    if backing_mask or delta:
+        outcome = "sdc"  # corrupt bits reached the final image unhealed
+    elif stream_diverged:
+        outcome = "timing"
+    else:
+        outcome = "masked"
+    return AnalyticOutcome(
+        outcome=outcome,
+        triggered=True,
+        resident=True,
+        dirty_at_injection=dirty_at_injection,
+        diverged=True,
+        instruction_delta=instr_delta,
+    )
+
+
+# --------------------------------------------------------------------- #
 # raw (unprotected) mask walk                                           #
 # --------------------------------------------------------------------- #
 def _walk_raw(
@@ -208,7 +513,8 @@ def _walk_raw(
     (→ :class:`ResiduePlan`) or the run ends (→ ``sdc`` / ``masked``).
     """
     resident_at_fill_ord: Optional[int] = None
-    for ord_, kind, a, b in events[start:]:
+    for index in range(start, len(events)):
+        ord_, kind, a, b = events[index]
         if not cache_mask and not backing_mask:
             return AnalyticOutcome(
                 outcome="masked",
@@ -217,8 +523,19 @@ def _walk_raw(
                 dirty_at_injection=dirty_at_injection,
             )
         if kind == EV_LOAD:
-            load_mask = ((1 << (8 * a)) - 1) << b
+            load_mask = subword_mask(a, b)
             if resident and cache_mask & load_mask:
+                proved = _walk_divergent(
+                    golden,
+                    wa,
+                    events,
+                    index,
+                    cache_mask=cache_mask,
+                    backing_mask=backing_mask,
+                    dirty_at_injection=dirty_at_injection,
+                )
+                if proved is not None:
+                    return proved
                 return ResiduePlan(
                     divergence_op=ord_,
                     divergence_instr=golden.op_instr[ord_ - 1],

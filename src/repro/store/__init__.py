@@ -34,11 +34,20 @@ from repro.store.serialize import (
     result_from_payload,
     store_timing_result,
 )
+from repro.store.sharding import (
+    ShardMerger,
+    list_shards,
+    merge_shards,
+    shard_directory,
+    shard_path,
+    shard_writer,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
     "STORE_SCHEMA_VERSION",
     "ResultStore",
+    "ShardMerger",
     "StoreHealthReport",
     "cacheable",
     "payload_checksum",
@@ -46,8 +55,13 @@ __all__ = [
     "canonical_dict",
     "canonical_json",
     "canonical_policy_value",
+    "list_shards",
+    "merge_shards",
     "payload_from_result",
     "result_from_payload",
+    "shard_directory",
+    "shard_path",
+    "shard_writer",
     "spec_from_canonical",
     "spec_hash",
     "store_timing_result",

@@ -402,6 +402,36 @@ class ResultStore:
 
         self._timed_write(write)
 
+    def merge_rows(self, rows: Iterable[Tuple[str, str, str, str, str]]) -> int:
+        """Idempotently fold foreign ``(key, kind, spec, payload,
+        checksum)`` rows in — ``INSERT OR IGNORE``, one transaction.
+
+        This is the shard-merge primitive
+        (:mod:`repro.store.sharding`): keys are content addresses and
+        payloads deterministic, so ignoring an existing key keeps an
+        identical payload, which makes the merge idempotent and
+        order-independent.  Returns the number of rows actually
+        inserted (already-present keys don't count).
+        """
+        prepared = list(rows)
+        if not prepared:
+            return 0
+        inserted = 0
+
+        def write():
+            nonlocal inserted
+            before = self._connection.total_changes
+            self._connection.executemany(
+                "INSERT OR IGNORE INTO results "
+                "(key, kind, spec, payload, checksum) VALUES (?, ?, ?, ?, ?)",
+                prepared,
+            )
+            self._connection.commit()
+            inserted = self._connection.total_changes - before
+
+        self._timed_write(write)
+        return inserted
+
     def spec_json(self, key: str) -> Optional[str]:
         """The canonical spec recorded with ``key`` (provenance)."""
         row = self._connection.execute(
@@ -562,10 +592,20 @@ class ResultStore:
         return self._closed
 
     def close(self) -> None:
-        """Close the connection (idempotent — safe on every teardown path)."""
+        """Close the connection (idempotent — safe on every teardown path).
+
+        A finished store checkpoints its WAL back into the main file
+        (``wal_checkpoint(TRUNCATE)``) before closing, so a clean close
+        leaves no stale ``-wal``/``-shm`` side-files next to the
+        database — the file on disk *is* the store.
+        """
         if self._closed:
             return
         self._closed = True
+        try:
+            self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        except sqlite3.Error:
+            pass  # e.g. another connection holds the file; close anyway
         self._connection.close()
 
     def __enter__(self) -> "ResultStore":

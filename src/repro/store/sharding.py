@@ -1,0 +1,254 @@
+"""Per-worker shard stores and their idempotent merge.
+
+A pooled batched campaign has many workers finishing group jobs
+concurrently; funnelling every payload back through the campaign
+process into one SQLite writer serialises persistence on a single
+connection — and, on slow or networked filesystems, breeds the
+``database is locked`` retry path.  Sharding removes the single-writer
+bottleneck: each pool worker appends its finished rows to its **own**
+shard file — ``<canonical>.shards/shard-<pid>.sqlite``, the same
+schema as the canonical :class:`~repro.store.ResultStore` — and the
+campaign process **merges** shards into the canonical store with
+``INSERT OR IGNORE`` at every batch-flush boundary.
+
+The merge protocol leans entirely on content addressing:
+
+* rows are keyed by the spec hash and their payloads are
+  deterministic, so merging a shard twice, merging shards in any
+  order, or merging a stale shard left behind by a killed run all
+  converge to the same canonical bytes (``INSERT OR IGNORE`` keeps the
+  first — identical — payload);
+* a per-shard **rowid high-water mark** makes repeated merges
+  incremental (each scan only reads rows appended since the previous
+  merge), but it is an optimisation, never load-bearing for
+  correctness — a merger with no memory of a shard simply re-reads it;
+* shard rows carry the same payload checksum the canonical store
+  writes; a torn shard row is skipped at merge (and counted), so a
+  crashed worker can never poison the canonical store.
+
+Orphan recovery: the campaign engine merges whatever shards exist
+*before* its first resume lookup, so rows persisted by workers of a
+killed run (``kill-main`` chaos, OOM, power loss) are found by resume
+exactly as if the canonical store had been written directly.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sqlite3
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.store.result_store import ResultStore, payload_checksum
+from repro.telemetry import metrics as _metrics
+
+#: Filename prefix of one worker's shard inside the shard directory.
+SHARD_PREFIX = "shard-"
+SHARD_SUFFIX = ".sqlite"
+
+
+def shard_directory(canonical_path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """The shard directory of a canonical store: ``<path>.shards/``."""
+    return pathlib.Path(str(canonical_path) + ".shards")
+
+
+def shard_path(
+    canonical_path: Union[str, pathlib.Path], worker_id: Optional[int] = None
+) -> pathlib.Path:
+    """This worker's shard file (keyed by pid unless ``worker_id`` given)."""
+    if worker_id is None:
+        worker_id = os.getpid()
+    return shard_directory(canonical_path) / (
+        f"{SHARD_PREFIX}{worker_id}{SHARD_SUFFIX}"
+    )
+
+
+def list_shards(canonical_path: Union[str, pathlib.Path]) -> List[pathlib.Path]:
+    """All shard files of a canonical store, in deterministic name order
+    (the merge result is order-independent; the order is for tests)."""
+    directory = shard_directory(canonical_path)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob(f"{SHARD_PREFIX}*{SHARD_SUFFIX}"))
+
+
+# --------------------------------------------------------------------- #
+# worker side: the per-process shard writer                             #
+# --------------------------------------------------------------------- #
+
+#: Per-process cache of open shard writers, keyed by canonical path —
+#: warm pool workers keep one connection per campaign store instead of
+#: re-opening (and re-journalling) a SQLite file per group job.
+_WRITERS: Dict[str, ResultStore] = {}
+
+
+def shard_writer(canonical_path: Union[str, pathlib.Path]) -> ResultStore:
+    """This process's shard store for ``canonical_path`` (cached).
+
+    The shard is a plain :class:`ResultStore` — same schema, same
+    checksummed rows — living at ``<canonical>.shards/shard-<pid>.sqlite``.
+    Nothing but this process ever writes it, so shard writes never
+    contend on a lock.
+    """
+    cache_key = str(canonical_path)
+    writer = _WRITERS.get(cache_key)
+    if writer is not None and not writer.closed:
+        return writer
+    path = shard_path(canonical_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    writer = ResultStore(path)
+    _WRITERS[cache_key] = writer
+    return writer
+
+
+def close_shard_writers() -> None:
+    """Close every cached shard writer (test teardown / worker exit)."""
+    while _WRITERS:
+        _, writer = _WRITERS.popitem()
+        writer.close()
+
+
+# --------------------------------------------------------------------- #
+# engine side: the incremental merger                                   #
+# --------------------------------------------------------------------- #
+
+
+def _read_shard_rows(
+    path: pathlib.Path, high_water: int
+) -> Tuple[int, List[Tuple[str, str, str, str, str]], int]:
+    """Rows of one shard past ``high_water``, checksum-filtered.
+
+    Returns ``(new_high_water, rows, corrupt_skipped)``; the rows are
+    full ``(key, kind, spec, payload, checksum)`` tuples ready for
+    :meth:`ResultStore.merge_rows`.  A shard that cannot be opened or
+    read (still warming up, torn header) contributes nothing this
+    round and keeps its high-water mark — the next merge retries it.
+    """
+    rows: List[Tuple[str, str, str, str, str]] = []
+    corrupt = 0
+    new_high = high_water
+    try:
+        connection = sqlite3.connect(path)
+    except sqlite3.Error:
+        return high_water, rows, corrupt
+    try:
+        cursor = connection.execute(
+            "SELECT rowid, key, kind, spec, payload, checksum FROM results "
+            "WHERE rowid > ? ORDER BY rowid",
+            (high_water,),
+        )
+        for rowid, key, kind, spec, payload_text, checksum in cursor:
+            new_high = max(new_high, rowid)
+            if checksum and payload_checksum(payload_text) != checksum:
+                corrupt += 1
+                continue
+            rows.append((key, kind, spec, payload_text, checksum))
+    except sqlite3.Error:
+        return high_water, [], corrupt
+    finally:
+        connection.close()
+    return new_high, rows, corrupt
+
+
+class ShardMerger:
+    """Folds worker shards into a canonical store, incrementally.
+
+    One merger per campaign.  :meth:`merge` scans every shard file
+    currently present, reads only rows past each shard's high-water
+    mark, verifies their checksums, and lands survivors in one
+    ``INSERT OR IGNORE`` transaction on the canonical store.  Calling
+    it at every batch-flush boundary makes the canonical store's
+    on-disk state a superset of what the single-writer path would have
+    checkpointed — so SIGINT/resume stays byte-identical.
+    """
+
+    def __init__(self, store: ResultStore) -> None:
+        self.store = store
+        self._high_water: Dict[str, int] = {}
+        #: Lifetime row/corruption counters (mirrored into metrics).
+        self.rows_merged = 0
+        self.corrupt_skipped = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether the canonical store can have shards at all."""
+        return self.store.path != ":memory:"
+
+    def merge(self) -> int:
+        """Fold all current shard rows in; returns rows newly scanned."""
+        if not self.active:
+            return 0
+        shards = list_shards(self.store.path)
+        if not shards:
+            return 0
+        merged = 0
+        with _metrics.phase_timer("merge"):
+            for path in shards:
+                cache_key = str(path)
+                high, rows, corrupt = _read_shard_rows(
+                    path, self._high_water.get(cache_key, 0)
+                )
+                self._high_water[cache_key] = high
+                if corrupt:
+                    self.corrupt_skipped += corrupt
+                    _metrics.inc("store_shard_corrupt_skipped_total", corrupt)
+                if rows:
+                    self.store.merge_rows(rows)
+                    merged += len(rows)
+            if merged:
+                self.rows_merged += merged
+                _metrics.inc("store_shard_rows_merged_total", merged)
+            _metrics.inc("store_shard_merges_total")
+        return merged
+
+    def discard_shards(self) -> int:
+        """Delete fully merged shard files (and the directory when empty).
+
+        Call only after a final :meth:`merge` with no writers left —
+        the campaign engine does this once the pool has shut down.
+        Returns the number of shard files removed.
+        """
+        if not self.active:
+            return 0
+        removed = 0
+        for path in list_shards(self.store.path):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+            self._high_water.pop(str(path), None)
+            # WAL side-files of a cleanly closed shard are gone already;
+            # sweep any a killed worker left behind.
+            for suffix in ("-wal", "-shm"):
+                side = pathlib.Path(str(path) + suffix)
+                if side.exists():
+                    try:
+                        side.unlink()
+                    except OSError:
+                        pass
+        directory = shard_directory(self.store.path)
+        try:
+            directory.rmdir()
+        except OSError:
+            pass
+        return removed
+
+
+def merge_shards(
+    store: ResultStore, shard_paths: Iterable[Union[str, pathlib.Path]]
+) -> int:
+    """One-shot merge of explicit shard files (the CLI entry point).
+
+    Unlike :class:`ShardMerger` this takes the shard list from the
+    caller, so detached shards (copied from another machine, recovered
+    from a crashed run's directory) can be folded into any canonical
+    store.  Returns the number of rows actually inserted
+    (already-present keys don't count), so re-merging reports 0.
+    """
+    merged = 0
+    for path in shard_paths:
+        _high, rows, _corrupt = _read_shard_rows(pathlib.Path(path), 0)
+        if rows:
+            merged += store.merge_rows(rows)
+    return merged

@@ -245,6 +245,200 @@ class TestSyntheticGridEquivalence:
             assert "replay_mode" not in result.payload()
 
 
+# --------------------------------------------------------------------- #
+# timeline-delta (divergent) walk: synthetic deviation grids            #
+# --------------------------------------------------------------------- #
+
+#: Visible corrupted load whose taint dies immediately: the walk proves
+#: `masked` (diverged, stream-identical) without streaming.
+DEAD_LOAD_PROGRAM = """
+.data
+val:
+    .word 0x11111111
+.text
+main:
+    set val, r1
+    ld [r1], r2
+    set 0, r2
+    ld [r1], r2
+    set 0, r2
+    halt
+"""
+
+#: Tainted value propagates through an ALU op into a store of another
+#: word and is never healed: the walk proves `sdc` analytically.
+TAINT_STORE_PROGRAM = """
+.data
+src:
+    .word 0x22222222
+dst:
+    .word 0
+.text
+main:
+    set src, r1
+    set dst, r2
+    ld [r1], r3
+    add r3, 1, r3
+    st r3, [r2]
+    halt
+"""
+
+#: A corrupted flag flips `be` so the faulty run *executes* the NOP run
+#: the golden run branches over: provable TIMING, +3 instructions.
+TIMING_EXTRA_NOP_PROGRAM = """
+.data
+flag:
+    .word 0
+.text
+main:
+    set flag, r1
+    ld [r1], r2
+    ld [r1], r2
+    subcc r2, 0, r9
+    be join
+    nop
+    nop
+    nop
+join:
+    set 0, r2
+    halt
+"""
+
+#: The mirror image: the faulty run *skips* the NOP run the golden run
+#: falls through: provable TIMING, -2 instructions.
+TIMING_SKIP_NOP_PROGRAM = """
+.data
+flag:
+    .word 1
+.text
+main:
+    set flag, r1
+    ld [r1], r2
+    ld [r1], r2
+    subcc r2, 0, r9
+    be join
+    nop
+    nop
+join:
+    set 0, r2
+    halt
+"""
+
+#: The corrupted flag flips a branch whose fall-through arm does real
+#: work: the walk must bail and the point streams through resume_faulty.
+UNPROVABLE_BRANCH_PROGRAM = """
+.data
+cond:
+    .word 0
+out:
+    .word 0
+.text
+main:
+    set cond, r1
+    set out, r4
+    ld [r1], r2
+    subcc r2, 0, r9
+    be done
+    set 1, r3
+    st r3, [r4]
+done:
+    halt
+"""
+
+#: The corrupted value becomes a load address: the access stream itself
+#: is unprovable, so the walk must bail and the point streams.
+TAINTED_ADDRESS_PROGRAM = """
+.data
+idx:
+    .word 0
+tbl:
+    .word 0x10
+    .word 0x20
+.text
+main:
+    set idx, r1
+    ld [r1], r2
+    sll r2, 2, r2
+    set tbl, r3
+    ld [r3+r2], r4
+    set 0, r4
+    set 0, r2
+    halt
+"""
+
+
+class TestTimelineDeltaWalk:
+    """Every provable / unprovable deviation case of `_walk_divergent`,
+    pinned byte-identical to the classic per-point path."""
+
+    def _run(self, program_text, name, *, policies=("no-ecc",), bits=(0, 7, 31)):
+        program, trace, specs = _grid(program_text, name, policies, bits=bits)
+        _assert_equivalent(program, trace, specs)
+        return specs, run_injection_batch(specs, program=program)
+
+    def test_dead_taint_proves_masked_without_streaming(self):
+        _specs, batch = self._run(DEAD_LOAD_PROGRAM, "dead_load")
+        assert all(result.replay_mode == "analytical" for result in batch)
+        assert any(
+            result.diverged and result.outcome.value == "masked"
+            for result in batch
+        )
+
+    def test_taint_chain_into_store_proves_sdc(self):
+        _specs, batch = self._run(TAINT_STORE_PROGRAM, "taint_store")
+        proved = [
+            result
+            for result in batch
+            if result.replay_mode == "analytical"
+            and result.diverged
+            and result.outcome.value == "sdc"
+        ]
+        assert proved, "no analytically proved SDC point in the grid"
+        for result in proved:
+            assert result.faulty_instructions == result.golden_instructions
+
+    def test_nop_reconvergence_proves_timing_with_extra_instructions(self):
+        _specs, batch = self._run(TIMING_EXTRA_NOP_PROGRAM, "timing_extra")
+        timings = [r for r in batch if r.outcome.value == "timing"]
+        assert timings, "no timing outcome in the extra-NOP grid"
+        for result in timings:
+            assert result.replay_mode == "analytical"
+            assert result.diverged
+            assert (
+                result.faulty_instructions == result.golden_instructions + 3
+            )
+
+    def test_nop_reconvergence_proves_timing_with_skipped_instructions(self):
+        _specs, batch = self._run(TIMING_SKIP_NOP_PROGRAM, "timing_skip")
+        timings = [r for r in batch if r.outcome.value == "timing"]
+        assert timings, "no timing outcome in the skip-NOP grid"
+        for result in timings:
+            assert result.replay_mode == "analytical"
+            assert result.diverged
+            assert (
+                result.faulty_instructions == result.golden_instructions - 2
+            )
+
+    def test_divergent_branch_arms_still_stream(self):
+        _specs, batch = self._run(UNPROVABLE_BRANCH_PROGRAM, "unprovable_br")
+        assert any(result.replay_mode == "streamed" for result in batch)
+
+    def test_tainted_address_still_streams(self):
+        _specs, batch = self._run(TAINTED_ADDRESS_PROGRAM, "tainted_addr")
+        assert any(result.replay_mode == "streamed" for result in batch)
+
+    def test_budget_exhaustion_falls_back_to_streaming(self, monkeypatch):
+        from repro.campaign import triage
+
+        monkeypatch.setattr(triage, "TIMING_WALK_BUDGET", 2)
+        _specs, batch = self._run(TAINT_STORE_PROGRAM, "budget_stream")
+        assert any(result.replay_mode == "streamed" for result in batch)
+        assert not any(
+            result.diverged and result.replay_mode == "analytical"
+            for result in batch
+        )
+
+
 class TestKernelGridEquivalence:
     def test_sampled_strata_across_policies_and_targets(self):
         kernel, scale = "rspeed", 0.1
@@ -324,11 +518,27 @@ class TestBatchedCampaign:
             stats.analytical + stats.streamed + stats.full + stats.store_hits
             == result.points
         )
-        # The triage pass must actually eliminate work, and the no-ecc
-        # SDC points must actually stream through suffix-resume.
+        # The triage pass must actually eliminate work.
         assert stats.analytical > 0
-        assert stats.streamed > 0
         assert stats.store_hits == 0
+
+    def test_timing_walk_disabled_streams_byte_identically(self, monkeypatch):
+        """With the timeline-delta walk disabled every load-visible
+        corruption streams through suffix-resume; the summary must not
+        change, only the analytical/streamed split."""
+        from repro.campaign import triage
+
+        walked = run_campaign(config())
+        monkeypatch.setattr(triage, "TIMING_WALK_BUDGET", 0)
+        streamed = run_campaign(config())
+        assert streamed.render() == walked.render()
+        assert streamed.stats.streamed > 0
+        assert walked.stats.streamed < streamed.stats.streamed
+        assert (
+            streamed.stats.analytical + streamed.stats.streamed
+            + streamed.stats.full + streamed.stats.store_hits
+            == streamed.points
+        )
 
     def test_point_mode_counts_everything_as_full(self):
         result = run_campaign(config(replay_mode="point"))
