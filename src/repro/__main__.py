@@ -569,6 +569,92 @@ def _trace_command(argv: List[str]) -> int:
     return 0
 
 
+def _build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=(
+            "Determinism & fork-safety static analyzer: D-rules "
+            "(wall-clock/entropy/pid/unsorted iteration), P-rules "
+            "(__reduce__ fidelity, pool closures, sqlite across forks), "
+            "S-rules (store checksum API, observability name drift)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=pathlib.Path,
+        default=None,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any unwaived, unbaselined finding remains",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="suppress findings fingerprinted in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="record every active finding into FILE and exit",
+    )
+    parser.add_argument(
+        "--doc",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "architecture doc for the S302/S303 name cross-check "
+            "(default: nearest ARCHITECTURE.md above the first path)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _run_lint_command(argv: List[str]) -> int:
+    from repro.analysis.lint import lint_paths, rule_catalogue, write_baseline
+
+    args = _build_lint_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, title in rule_catalogue():
+            print(f"{rule_id}  {title}")
+        return 0
+    paths = args.paths or [pathlib.Path(__file__).resolve().parent]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"[lint] no such path: {path}", file=sys.stderr)
+        return 2
+    report = lint_paths(
+        paths, doc_path=args.doc, baseline_path=args.baseline
+    )
+    if args.write_baseline is not None:
+        count = write_baseline(report, args.write_baseline)
+        print(f"[lint] baselined {count} finding(s) -> {args.write_baseline}")
+        return 0
+    print(report.to_json() if args.json else report.render())
+    if args.strict and report.active:
+        return 1
+    return 0
+
+
 def _build_store_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro store",
@@ -704,6 +790,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_store_command(argv[1:])
     if argv and argv[0] == "trace":
         return _run_trace_command(argv[1:])
+    if argv and argv[0] == "lint":
+        return _run_lint_command(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
 

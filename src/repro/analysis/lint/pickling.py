@@ -1,0 +1,440 @@
+"""P-rules: pickle and process-pool (fork) safety.
+
+Campaign errors, submitted jobs and store handles all cross process
+boundaries.  PR 8 shipped — and had to hot-fix — exactly the failure
+mode P201 now catches structurally: an exception taxonomy whose
+``__reduce__`` silently dropped ``details`` on the worker → supervisor
+hop.  These rules make that bug class (and its siblings: signature
+drift under an inherited ``__reduce__``, jobs leaning on module state a
+fork never re-creates, SQLite connections crossing a fork) a lint
+failure instead of a 2 a.m. debugging session.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.lint.manifest import (
+    PICKLED_EXCEPTION_ROOTS,
+    WORKER_INITIALIZERS,
+)
+from repro.analysis.lint.rules import ModuleContext, ProjectContext, rule
+
+_EXCEPTION_BASES = frozenset({"Exception", "BaseException"})
+
+
+# --------------------------------------------------------------------- #
+# P201/P202: exception taxonomy __reduce__ fidelity (project-wide)      #
+# --------------------------------------------------------------------- #
+@dataclass
+class _ExceptionClass:
+    """One class definition relevant to the pickled-exception rules."""
+
+    name: str
+    context: ModuleContext
+    node: ast.ClassDef
+    bases: Tuple[str, ...]
+    init: Optional[ast.FunctionDef] = None
+    reduce: Optional[ast.FunctionDef] = None
+    #: ``self.X = ...`` attributes the constructor stores (minus args).
+    state_attrs: Set[str] = field(default_factory=set)
+
+
+def _collect_exception_classes(
+    modules: List[ModuleContext],
+) -> Dict[str, _ExceptionClass]:
+    table: Dict[str, _ExceptionClass] = {}
+    for context in modules:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = tuple(
+                base.id
+                for base in node.bases
+                if isinstance(base, ast.Name)
+            )
+            entry = _ExceptionClass(
+                name=node.name, context=context, node=node, bases=bases
+            )
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    if item.name == "__init__":
+                        entry.init = item
+                        entry.state_attrs = _stored_attrs(item)
+                    elif item.name == "__reduce__":
+                        entry.reduce = item
+            # Later definitions win (shadowing is a test-fixture thing).
+            table[node.name] = entry
+    return table
+
+
+def _stored_attrs(init: ast.FunctionDef) -> Set[str]:
+    attrs: Set[str] = set()
+    for node in ast.walk(init):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr != "args"
+            ):
+                attrs.add(target.attr)
+    return attrs
+
+
+def _in_taxonomy(
+    name: str, table: Dict[str, _ExceptionClass], seen: Optional[Set[str]] = None
+) -> bool:
+    if name in PICKLED_EXCEPTION_ROOTS:
+        return True
+    seen = seen or set()
+    if name in seen or name not in table:
+        return False
+    seen.add(name)
+    return any(_in_taxonomy(base, table, seen) for base in table[name].bases)
+
+
+def _effective_reduce(
+    entry: _ExceptionClass, table: Dict[str, _ExceptionClass]
+) -> Optional[ast.FunctionDef]:
+    """The ``__reduce__`` this class actually pickles through (its own,
+    or the nearest analyzed ancestor's)."""
+    seen: Set[str] = set()
+    current: Optional[_ExceptionClass] = entry
+    while current is not None:
+        if current.reduce is not None:
+            return current.reduce
+        parent = next(
+            (base for base in current.bases if base in table and base not in seen),
+            None,
+        )
+        if parent is None:
+            return None
+        seen.add(parent)
+        current = table[parent]
+    return None
+
+
+def _referenced_attrs(func: ast.FunctionDef) -> Set[str]:
+    """Attribute names a function body mentions (``self.x``, ``o.x`` or
+    the string literal ``"x"`` for getattr-style access)."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+    return names
+
+
+def _required_positionals(init: ast.FunctionDef) -> int:
+    args = init.args
+    positional = list(args.posonlyargs) + list(args.args)
+    required = len(positional) - len(args.defaults)
+    # drop self
+    return max(0, required - 1)
+
+
+def _calls_super_init(init: ast.FunctionDef) -> bool:
+    for node in ast.walk(init):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__init__"
+        ):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Call)
+            and isinstance(node.func.value.func, ast.Name)
+            and node.func.value.func.id == "super"
+        ):
+            return True
+    return False
+
+
+@rule("P201", "exception __reduce__ drops constructor state", scope="project")
+def check_reduce_fidelity(project: ProjectContext) -> None:
+    table = _collect_exception_classes(project.modules)
+    for entry in table.values():
+        if not _in_taxonomy(entry.name, table):
+            continue
+        if not entry.state_attrs:
+            continue
+        reduce_fn = _effective_reduce(entry, table)
+        context = entry.context
+        if reduce_fn is None:
+            context.add(
+                "P201",
+                entry.node,
+                f"{entry.name} stores state "
+                f"({', '.join(sorted(entry.state_attrs))}) but pickles "
+                f"through default Exception.__reduce__, which rebuilds "
+                f"from args alone — state is dropped across the pool hop",
+            )
+            continue
+        missing = sorted(entry.state_attrs - _referenced_attrs(reduce_fn))
+        if missing:
+            # Anchor at this class's own __reduce__ when it has one;
+            # an inherited (other-module) reduce anchors at the class.
+            context.add(
+                "P201",
+                entry.reduce if entry.reduce is not None else entry.node,
+                f"{entry.name}.__reduce__ never references "
+                f"{', '.join(missing)} — that state is silently dropped "
+                f"when the error crosses a process boundary",
+            )
+
+
+@rule(
+    "P202",
+    "taxonomy subclass __init__ incompatible with inherited __reduce__",
+    scope="project",
+)
+def check_init_signature(project: ProjectContext) -> None:
+    table = _collect_exception_classes(project.modules)
+    for entry in table.values():
+        if not _in_taxonomy(entry.name, table):
+            continue
+        if entry.init is None:
+            continue
+        context = entry.context
+        is_root = entry.name in PICKLED_EXCEPTION_ROOTS
+        problems: List[str] = []
+        if entry.init.args.kwarg is None:
+            problems.append(
+                "no **details catch-all (reconstruction passes arbitrary "
+                "detail keys as keywords)"
+            )
+        required = _required_positionals(entry.init)
+        if required != 1:
+            problems.append(
+                f"{required} required positional parameter(s), "
+                f"reconstruction calls cls(message, **details)"
+            )
+        if not is_root and not _calls_super_init(entry.init):
+            problems.append(
+                "does not chain to the base __init__, so message/details "
+                "never exist at pickle time"
+            )
+        if problems:
+            context.add(
+                "P202",
+                entry.init,
+                f"{entry.name}.__init__ cannot be rebuilt by the "
+                f"inherited __reduce__: " + "; ".join(problems),
+            )
+
+
+# --------------------------------------------------------------------- #
+# P203: submitted jobs leaning on unshipped module state                #
+# --------------------------------------------------------------------- #
+_MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "defaultdict", "deque", "OrderedDict", "Counter"}
+)
+
+
+def _module_mutables(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        value = None
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        if value is None:
+            continue
+        mutable = isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp))
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_FACTORIES
+        ):
+            mutable = True
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _pool_usage(context: ModuleContext):
+    """(submitted function names, initializer function names) here."""
+    submitted: Set[str] = set()
+    initializers: Set[str] = set(WORKER_INITIALIZERS)
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("submit", "map")
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+        ):
+            submitted.add(node.args[0].id)
+        dotted = context.imports.dotted(node.func)
+        if dotted is not None and dotted.endswith("ProcessPoolExecutor"):
+            for keyword in node.keywords:
+                if keyword.arg == "initializer" and isinstance(
+                    keyword.value, ast.Name
+                ):
+                    initializers.add(keyword.value.id)
+    return submitted, initializers
+
+
+def _assigned_names(func: ast.FunctionDef) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            names.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+@rule("P203", "pool job reads module state a fork never re-creates")
+def check_pool_closure(context: ModuleContext) -> None:
+    submitted, initializers = _pool_usage(context)
+    if not submitted:
+        return
+    mutables = _module_mutables(context.tree)
+    if not mutables:
+        return
+    functions = {
+        node.name: node
+        for node in context.tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+    warmed: Set[str] = set()
+    for name in initializers:
+        init_fn = functions.get(name)
+        if init_fn is not None:
+            warmed |= _assigned_names(init_fn)
+    for name in sorted(submitted):
+        func = functions.get(name)
+        if func is None:
+            continue
+        local = _assigned_names(func)
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in mutables
+                and node.id not in warmed
+                and node.id not in local
+            ):
+                context.add(
+                    "P203",
+                    node,
+                    f"pool job '{name}' reads module-level mutable "
+                    f"'{node.id}' that no warm-worker initializer "
+                    f"populates — its content is whatever the fork "
+                    f"happened to inherit",
+                )
+
+
+# --------------------------------------------------------------------- #
+# P204: SQLite connections crossing a fork boundary                     #
+# --------------------------------------------------------------------- #
+@rule("P204", "sqlite3 connection can cross a fork boundary")
+def check_sqlite_fork(context: ModuleContext) -> None:
+    # (a) a connection opened at import time is silently inherited by
+    # every forked pool worker — undefined behaviour per the sqlite3
+    # docs (one connection, many processes).
+    for stmt in context.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # function bodies execute later, not at import
+        for node in _walk_shallow(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and context.imports.dotted(node.func) == "sqlite3.connect"
+            ):
+                context.add(
+                    "P204",
+                    node,
+                    "sqlite3.connect() at module scope — the connection "
+                    "is inherited by every forked worker; open it lazily "
+                    "per process instead",
+                )
+    # (b) a name/attribute bound to a connection handed to the pool.
+    connection_names: Set[str] = set()
+    connection_attrs: Set[str] = set()
+    for node in ast.walk(context.tree):
+        if not (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and context.imports.dotted(node.value.func) == "sqlite3.connect"
+        ):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                connection_names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                connection_attrs.add(target.attr)
+    if not (connection_names or connection_attrs):
+        return
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        is_submit = (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("submit", "map")
+        )
+        shipped: List[ast.expr] = []
+        if is_submit:
+            shipped.extend(node.args[1:])
+        for keyword in node.keywords:
+            if keyword.arg == "initargs" and isinstance(
+                keyword.value, (ast.Tuple, ast.List)
+            ):
+                shipped.extend(keyword.value.elts)
+        for arg in shipped:
+            leaked = (
+                isinstance(arg, ast.Name) and arg.id in connection_names
+            ) or (
+                isinstance(arg, ast.Attribute) and arg.attr in connection_attrs
+            )
+            if leaked:
+                context.add(
+                    "P204",
+                    arg,
+                    "a sqlite3 connection is shipped to a pool worker — "
+                    "connections must never cross a fork; pass the path "
+                    "and reopen worker-side",
+                )
+
+
+def _walk_shallow(root: ast.stmt):
+    """Walk a module-level statement without entering function bodies
+    (those execute later, not at import; class bodies *do* run at
+    import, so they are descended)."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+__all__ = [
+    "check_init_signature",
+    "check_pool_closure",
+    "check_reduce_fidelity",
+    "check_sqlite_fork",
+]

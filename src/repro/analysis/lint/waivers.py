@@ -1,0 +1,162 @@
+"""Inline waivers: ``# repro: allow[RULE-ID] reason=...``.
+
+A waiver suppresses one rule on one line.  It lives either at the end
+of the offending line or on a comment line of its own immediately
+above it (conventional for long lines).  Waivers are themselves
+linted:
+
+* a waiver that names an unknown rule id, or omits its ``reason=``,
+  is **malformed** — rule ``W402``;
+* a waiver that suppresses nothing (the code it covered was fixed or
+  moved) is **stale** — rule ``W401`` — so waivers can never silently
+  outlive their justification.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.analysis.lint.findings import Finding, finding
+
+#: The waiver grammar.  The rule id is validated separately so a typo'd
+#: id is reported as malformed rather than silently ignored.
+_WAIVER_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>[^\]]*)\]\s*(?P<rest>.*)$"
+)
+_REASON_RE = re.compile(r"^reason=(?P<reason>\S.*)$")
+_RULE_ID_RE = re.compile(r"^[A-Z]\d{3}$")
+
+
+@dataclass
+class Waiver:
+    """One parsed waiver comment."""
+
+    line: int  # the line the waiver comment sits on (1-based)
+    target_line: int  # the code line it suppresses
+    rule: str
+    reason: str
+    used: bool = field(default=False)
+
+
+def _comment_tokens(
+    source_lines: Sequence[str],
+) -> Iterator[Tuple[int, int, str]]:
+    """``(line, column, text)`` of every real comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps waiver-like
+    text inside docstrings and string literals from parsing as waivers.
+    Sources that will not tokenize fall back to a plain line scan.
+    """
+    source = "\n".join(source_lines) + "\n"
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for index, raw in enumerate(source_lines, start=1):
+            at = raw.find("#")
+            if at >= 0:
+                yield index, at, raw[at:]
+
+
+def parse_waivers(
+    source_lines: Sequence[str], path: str, known_rules: Sequence[str]
+) -> "tuple[List[Waiver], List[Finding]]":
+    """Extract waivers (and W402 malformed-waiver findings) from source.
+
+    A waiver on a comment-only line targets the next non-blank,
+    non-comment line; a trailing waiver targets its own line.
+    """
+    waivers: List[Waiver] = []
+    problems: List[Finding] = []
+    known = set(known_rules)
+    for index, column, comment in _comment_tokens(source_lines):
+        raw = source_lines[index - 1] if index <= len(source_lines) else comment
+        match = _WAIVER_RE.search(comment)
+        if match is None:
+            continue
+        rule_id = match.group("rule").strip()
+        rest = match.group("rest").strip()
+        snippet = raw.strip()
+        if not _RULE_ID_RE.match(rule_id) or rule_id not in known:
+            problems.append(
+                finding(
+                    "W402",
+                    path,
+                    index,
+                    f"malformed waiver: unknown rule id {rule_id!r}",
+                    snippet,
+                )
+            )
+            continue
+        reason_match = _REASON_RE.match(rest)
+        if reason_match is None:
+            problems.append(
+                finding(
+                    "W402",
+                    path,
+                    index,
+                    f"malformed waiver for {rule_id}: missing 'reason=...'",
+                    snippet,
+                )
+            )
+            continue
+        before_comment = raw[:column].strip()
+        target = index
+        if not before_comment:
+            # A standalone waiver comment covers the next code line.
+            target = _next_code_line(source_lines, index)
+        waivers.append(
+            Waiver(
+                line=index,
+                target_line=target,
+                rule=rule_id,
+                reason=reason_match.group("reason").strip(),
+            )
+        )
+    return waivers, problems
+
+
+def _next_code_line(source_lines: Sequence[str], after: int) -> int:
+    """The first non-blank, non-comment line after line ``after``."""
+    for index in range(after, len(source_lines)):
+        text = source_lines[index].strip()
+        if text and not text.startswith("#"):
+            return index + 1
+    return after  # dangling waiver at EOF: stays stale
+
+
+def apply_waivers(
+    findings: List[Finding], waivers: List[Waiver], path: str
+) -> List[Finding]:
+    """Mark waived findings, and return W401 findings for stale waivers."""
+    by_target: Dict[int, List[Waiver]] = {}
+    for waiver in waivers:
+        by_target.setdefault(waiver.target_line, []).append(waiver)
+    for item in findings:
+        for waiver in by_target.get(item.line, ()):
+            if waiver.rule == item.rule:
+                item.waived = True
+                item.waive_reason = waiver.reason
+                waiver.used = True
+    stale: List[Finding] = []
+    for waiver in waivers:
+        if not waiver.used:
+            stale.append(
+                finding(
+                    "W401",
+                    path,
+                    waiver.line,
+                    f"stale waiver: {waiver.rule} no longer fires on "
+                    f"line {waiver.target_line}",
+                    f"# repro: allow[{waiver.rule}] reason={waiver.reason}",
+                )
+            )
+    return stale
+
+
+__all__ = ["Waiver", "apply_waivers", "parse_waivers"]

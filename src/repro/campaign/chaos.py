@@ -152,6 +152,7 @@ def apply_worker_directive(directive: Optional[ChaosDirective], hang_seconds: fl
     if directive.kind == "kill-worker":
         # Die the way a segfaulted/OOM-killed worker dies: abruptly,
         # without cleanup — the parent sees BrokenProcessPool.
+        # repro: allow[D104] reason=self-signalling chaos kill; the pid is consumed by os.kill, never persisted
         os.kill(os.getpid(), signal.SIGKILL)
     elif directive.kind == "timeout":
         time.sleep(hang_seconds)
@@ -167,8 +168,10 @@ def apply_supervisor_directive(directive: Optional[ChaosDirective]) -> None:
     if directive is None:
         return
     if directive.kind == "kill-main":
+        # repro: allow[D104] reason=self-signalling chaos kill; the pid is consumed by os.kill, never persisted
         os.kill(os.getpid(), signal.SIGKILL)
     elif directive.kind == "sigint":
+        # repro: allow[D104] reason=self-signalling chaos interrupt; the pid is consumed by os.kill, never persisted
         os.kill(os.getpid(), signal.SIGINT)
 
 
@@ -201,6 +204,7 @@ def corrupt_store_row(path, index: int = 0, *, seed: int = 2019) -> str:
         at = digits[seed % len(digits)]
         flipped = str((int(payload[at]) + 1) % 10)
         corrupted = payload[:at] + flipped + payload[at + 1 :]
+        # repro: allow[S301] reason=deliberate behind-the-store corruption the checksum scan must catch (chaos testing)
         connection.execute(
             "UPDATE results SET payload = ? WHERE key = ?", (corrupted, key)
         )
